@@ -1,0 +1,41 @@
+"""Shared helper for the per-table benchmark drivers.
+
+Each ``benchmarks/test_*.py`` regenerates one table/figure of the paper
+(see DESIGN.md §4) under pytest-benchmark.  The benchmark *measures the
+host cost of the whole simulated experiment* (one round — experiments are
+deterministic, so statistical repetition adds nothing) and **prints the
+regenerated table**, which is the actual deliverable.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import run_experiment
+
+
+#: Scale knob: quick by default so CI stays fast; set REPRO_BENCH_SCALE=paper
+#: to regenerate the full-size tables recorded in EXPERIMENTS.md.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def run_table(benchmark):
+    """Benchmark one experiment id and print its regenerated table."""
+
+    def runner(exp_id: str):
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id,), kwargs={"scale": SCALE},
+            rounds=1, iterations=1,
+        )
+        print(f"\n== {result.exp_id}: {result.title} (scale={SCALE}) ==")
+        print(result.text)
+        return result
+
+    return runner

@@ -1,0 +1,9 @@
+"""A1 — collective spanning-tree ablation (rank vs binomial)."""
+
+
+def test_a1_spanning_tree(run_table):
+    result = run_table("a1")
+    d = result.data
+    assert d["binomial"]["hops"] < d["rank"]["hops"], (
+        "binomial tree should cut hop-weighted collective traffic"
+    )

@@ -1,0 +1,11 @@
+"""A2 — monotonic lazy-propagation batching-interval ablation."""
+
+
+def test_a2_lazy_interval(run_table):
+    result = run_table("a2")
+    d = result.data
+    intervals = sorted(d)
+    # Bigger batching window -> staler bounds -> at least as many nodes.
+    assert d[intervals[-1]]["nodes"] >= d[intervals[0]]["nodes"]
+    # ...and no more propagation messages.
+    assert d[intervals[-1]]["msgs"] <= d[intervals[0]]["msgs"]

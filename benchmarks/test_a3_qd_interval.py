@@ -1,0 +1,9 @@
+"""A3 — quiescence wave-interval ablation (latency vs probe traffic)."""
+
+
+def test_a3_qd_interval(run_table):
+    result = run_table("a3")
+    d = result.data
+    intervals = sorted(d)
+    assert d[intervals[-1]]["latency"] > d[intervals[0]]["latency"]
+    assert d[intervals[-1]]["waves"] <= d[intervals[0]]["waves"]

@@ -1,0 +1,10 @@
+"""A4 — ACWN threshold / hop-budget parameter sweep."""
+
+
+def test_a4_acwn_params(run_table):
+    result = run_table("a4")
+    d = result.data
+    # A higher forwarding threshold always moves fewer seeds remotely.
+    lo = d["(1, 4)"]["remote"]
+    hi = d["(8, 4)"]["remote"]
+    assert hi < lo

@@ -1,0 +1,12 @@
+"""A5 — link-contention ablation: all-to-all vs nearest-neighbor traffic."""
+
+
+def test_a5_link_contention(run_table):
+    result = run_table("a5")
+    d = result.data
+    sort_slowdown = d["samplesort"]["contended"] / d["samplesort"]["plain"]
+    jacobi_slowdown = d["jacobi"]["contended"] / d["jacobi"]["plain"]
+    assert sort_slowdown > 1.0, "contention must cost something all-to-all"
+    assert sort_slowdown > jacobi_slowdown, (
+        "all-to-all should suffer more from link queuing than stencils"
+    )

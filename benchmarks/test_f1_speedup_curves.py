@@ -1,0 +1,7 @@
+"""F1 — speedup curves across the three machine classes (figure)."""
+
+
+def test_f1_speedup_curves(run_table):
+    result = run_table("f1")
+    for name, series in result.data.items():
+        assert series[0] == 1.0, f"{name} not normalized to T1"

@@ -1,0 +1,8 @@
+"""F2 — grain size vs parallel efficiency (figure)."""
+
+
+def test_f2_grainsize_efficiency(run_table):
+    result = run_table("f2")
+    for app in ("queens", "fib"):
+        series = result.data[app]
+        assert all(0 < eff <= 1.2 for eff in series.values()), series

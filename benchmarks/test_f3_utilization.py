@@ -1,0 +1,8 @@
+"""F3 — per-PE utilization profile under each balancer (figure)."""
+
+
+def test_f3_utilization_profiles(run_table):
+    result = run_table("f3")
+    d = result.data
+    spread = lambda u: max(u) - min(u)
+    assert spread(d["acwn"]) < spread(d["local"])

@@ -1,0 +1,84 @@
+"""Host-performance microbenchmarks of the simulator itself.
+
+Unlike the T/F/A drivers (which regenerate the paper's tables in virtual
+time), these measure the *host* cost of the machinery — events/second
+through the engine, messages/second through the kernel, pool
+push/pop throughput — so performance regressions in the simulator are
+caught by pytest-benchmark's timing statistics.
+"""
+
+from repro import Chare, Kernel, entry, make_machine
+from repro.queueing.strategies import make_strategy
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule(float(i % 97), lambda: None)
+        eng.run()
+        return eng.events_fired
+
+    assert benchmark(run_10k) == 10_000
+
+
+class _PingPong(Chare):
+    def __init__(self, rounds):
+        self.rounds = rounds
+        self.send(self.thishandle, "ping", 0)
+
+    @entry
+    def ping(self, i):
+        if i >= self.rounds:
+            self.exit(i)
+        else:
+            self.send(self.thishandle, "ping", i + 1)
+
+
+def test_kernel_message_throughput(benchmark):
+    def run_chain():
+        kernel = Kernel(make_machine("ideal", 1))
+        return kernel.run(_PingPong, 2_000).result
+
+    assert benchmark(run_chain) == 2_000
+
+
+class _Fanout(Chare):
+    def __init__(self, n):
+        self.n = n
+        self.seen = 0
+        for i in range(n):
+            self.create(_FanWorker, self.thishandle)
+
+    @entry
+    def done(self):
+        self.seen += 1
+        if self.seen == self.n:
+            self.exit(self.seen)
+
+
+class _FanWorker(Chare):
+    def __init__(self, parent):
+        self.send(parent, "done")
+
+
+def test_kernel_seed_fanout_throughput(benchmark):
+    def run_fanout():
+        kernel = Kernel(make_machine("ideal", 8), balancer="random")
+        return kernel.run(_Fanout, 1_000).result
+
+    assert benchmark(run_fanout) == 1_000
+
+
+def test_priority_pool_throughput(benchmark):
+    def churn():
+        q = make_strategy("prio")
+        for i in range(5_000):
+            q.push(i, (i * 2654435761) % 1000)
+        total = 0
+        while q:
+            total += q.pop()
+        return total
+
+    assert benchmark(churn) == sum(range(5_000))

@@ -1,0 +1,11 @@
+"""T10 — heterogeneous workstation network: static vs adaptive placement."""
+
+
+def test_t10_heterogeneous_machines(run_table):
+    result = run_table("t10")
+    d = result.data
+    # Load-aware adaptive placement must beat every load-blind strategy
+    # when node speeds differ 4x.
+    assert d["acwn"]["time"] < d["roundrobin"]["time"]
+    assert d["acwn"]["time"] < d["random"]["time"]
+    assert d["acwn"]["util"] > d["random"]["util"]

@@ -1,0 +1,8 @@
+"""T1 — benchmark-suite characteristics table (work, messages, grain)."""
+
+
+def test_t1_suite_characteristics(run_table):
+    result = run_table("t1")
+    for app, row in result.data.items():
+        assert row["work"] > 0, f"{app} charged no work"
+        assert row["msgs"] > 0

@@ -1,0 +1,8 @@
+"""T2 — speedup table on the shared-memory bus machine (Symmetry class)."""
+
+
+def test_t2_shared_memory_speedups(run_table):
+    result = run_table("t2")
+    for app, d in result.data["apps"].items():
+        assert d["speedups"][0] == 1.0
+        assert d["speedups"][-1] > 1.0, f"{app} failed to speed up at all"

@@ -1,0 +1,7 @@
+"""T3 — speedup table on the iPSC/2-class hypercube."""
+
+
+def test_t3_hypercube_speedups(run_table):
+    result = run_table("t3")
+    for app, d in result.data["apps"].items():
+        assert d["speedups"][1] > 1.0, f"{app} lost time going parallel"

@@ -1,0 +1,7 @@
+"""T4 — large-P speedups on the NCUBE-class hypercube."""
+
+
+def test_t4_large_p_speedups(run_table):
+    result = run_table("t4")
+    tree = result.data["apps"]["tree"]["speedups"]
+    assert tree[-1] > tree[1], "tree stopped scaling with more PEs"

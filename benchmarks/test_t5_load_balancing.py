@@ -1,0 +1,10 @@
+"""T5 — dynamic load-balancing strategy comparison on the unbalanced tree."""
+
+
+def test_t5_load_balancing(run_table):
+    result = run_table("t5")
+    d = result.data
+    assert d["local"]["time"] > d["acwn"]["time"], "balancing didn't help"
+    assert d["acwn"]["remote_seeds"] < d["random"]["remote_seeds"], (
+        "ACWN should contract (move fewer seeds) vs blind random placement"
+    )

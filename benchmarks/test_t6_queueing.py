@@ -1,0 +1,8 @@
+"""T6 — queueing strategies and branch-and-bound search anomalies."""
+
+
+def test_t6_queueing_strategies(run_table):
+    result = run_table("t6")
+    d = result.data
+    assert d["('knapsack', 'prio')"]["nodes"] <= d["('knapsack', 'fifo')"]["nodes"]
+    assert d["('tsp', 'prio')"]["best"] == d["('tsp', 'fifo')"]["best"]

@@ -1,0 +1,9 @@
+"""T7 — monotonic-variable propagation ablation (bound sharing)."""
+
+
+def test_t7_monotonic_ablation(run_table):
+    result = run_table("t7")
+    d = result.data
+    assert d["off"]["nodes"] >= d["eager"]["nodes"]
+    assert d["lazy"]["msgs"] <= d["eager"]["msgs"] or d["lazy"]["msgs"] > 0
+    assert d["off"]["msgs"] == 0

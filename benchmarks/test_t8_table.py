@@ -1,0 +1,8 @@
+"""T8 — distributed-table throughput vs PE count."""
+
+
+def test_t8_table_throughput(run_table):
+    result = run_table("t8")
+    d = result.data
+    ps = sorted(d)
+    assert d[ps[-1]]["time"] < d[ps[0]]["time"], "no scaling from sharding"

@@ -1,0 +1,8 @@
+"""T9 — quiescence-detection overhead and latency."""
+
+
+def test_t9_quiescence_overhead(run_table):
+    result = run_table("t9")
+    for p, row in result.data.items():
+        assert row["latency"] >= 0, f"negative QD latency at P={p}"
+        assert row["waves"] >= 2, "QD must confirm with at least two waves"

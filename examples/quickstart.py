@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: your first Chare Kernel program.
+
+A main chare fans out ``n`` worker chares (placed by the load balancer),
+each worker folds its contribution into an accumulator, and quiescence
+detection tells the main chare when everything — including messages still
+in flight — is finished.  Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import Chare, Kernel, entry, make_machine
+
+
+class Worker(Chare):
+    """One unit of work: charge some CPU, contribute to the accumulator."""
+
+    def __init__(self, parent, index):
+        self.charge(500)                      # ~500 abstract instructions
+        self.accumulate("total", index * index)
+        if index == 0:
+            self.send(parent, "hello", self.my_pe)
+
+
+class Main(Chare):
+    """Declares shared variables, seeds the workers, collects the answer."""
+
+    def __init__(self, n):
+        # Shared abstractions must be declared in the main constructor.
+        self.new_accumulator("total", 0, "sum")
+        for i in range(n):
+            self.create(Worker, self.thishandle, i)   # balancer places these
+        self.start_quiescence(self.thishandle, "all_done")
+
+    @entry
+    def hello(self, pe):
+        print(f"  worker 0 ran on PE {pe}")
+
+    @entry
+    def all_done(self):
+        # No worker is running and no message is in flight: safe to collect.
+        self.collect_accumulator("total", self.thishandle, "report")
+
+    @entry
+    def report(self, tag, total):
+        self.exit(total)
+
+
+def main():
+    n = 100
+    expected = sum(i * i for i in range(n))
+    for machine_name, pes in (("symmetry", 8), ("ipsc2", 16)):
+        machine = make_machine(machine_name, pes)
+        kernel = Kernel(machine, balancer="acwn", seed=1)
+        result = kernel.run(Main, n)
+        assert result.result == expected, (result.result, expected)
+        print(f"{machine_name:9s} P={pes:2d}: sum = {result.result} "
+              f"in {result.time * 1e3:.2f} virtual ms")
+        print(result.stats.summary())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package (PEP 660 editable
+wheels); on the fully offline machines this repo targets, that may be
+missing.  This shim keeps the legacy path working:
+
+    python setup.py develop        # offline editable install
+
+Configuration lives in pyproject.toml; nothing here duplicates it beyond
+what the legacy command needs.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

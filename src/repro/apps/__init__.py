@@ -1,0 +1,82 @@
+"""Benchmark programs (the paper's application suite).
+
+Each module provides:
+
+* a **sequential reference** implementation (ground truth + the T=1 work
+  baseline used by speedup tables),
+* a **Chare Kernel program** (Main chare + worker chares) exercising a
+  characteristic slice of the runtime:
+
+  ==========  ===========================================================
+  nqueens     dynamic tree search, accumulator + quiescence detection
+  fib         divide & conquer with response combining (no quiescence)
+  primes      static decomposition, accumulator reduction
+  tsp         branch & bound: monotonic bound, priorities, accumulators
+  knapsack    branch & bound (maximization), integer priorities
+  jacobi      iterative stencil: pinned chares, neighbor messaging, numpy
+  matmul      static data-parallel block multiply with real payloads
+  tree        synthetic unbalanced tree — the load-balancing stressor
+  histogram   distributed-table workload (insert/find with replies)
+  puzzle      IDA* sliding-tile search — repeated quiescence rounds,
+              epoch-tagged accumulators, bitvector-friendly priorities
+  sor         red-black SOR — convergence-driven iteration (continue/stop
+              verdicts every step), doubled ghost exchanges
+  samplesort  parallel sample sort — gather/scatter/all-to-all phases
+              with data-dependent message sizes
+  md          cell-decomposition molecular dynamics — per-step neighbor
+              exchange plus data-dependent particle migration
+  lu          pipelined dense LU factorization — overlapping pivot-row
+              broadcasts (dataflow pipelining)
+  ==========  ===========================================================
+
+* a ``run_<name>(machine, **params) -> (answer, RunResult)`` driver used by
+  examples, tests and the benchmark harness.
+"""
+
+from repro.apps.nqueens import nqueens_seq, run_nqueens
+from repro.apps.fib import fib_seq, run_fib
+from repro.apps.primes import primes_seq, run_primes
+from repro.apps.tsp import TspInstance, tsp_seq, run_tsp
+from repro.apps.knapsack import KnapsackInstance, knapsack_seq, run_knapsack
+from repro.apps.jacobi import jacobi_seq, run_jacobi
+from repro.apps.matmul import run_matmul
+from repro.apps.tree import TreeParams, tree_seq, run_tree
+from repro.apps.histogram import run_histogram
+from repro.apps.puzzle import ida_star_seq, random_puzzle, run_puzzle
+from repro.apps.sor import sor_seq, run_sor
+from repro.apps.samplesort import run_samplesort
+from repro.apps.md import MdParams, md_seq, run_md
+from repro.apps.lu import lu_seq, run_lu
+
+__all__ = [
+    "nqueens_seq",
+    "run_nqueens",
+    "fib_seq",
+    "run_fib",
+    "primes_seq",
+    "run_primes",
+    "TspInstance",
+    "tsp_seq",
+    "run_tsp",
+    "KnapsackInstance",
+    "knapsack_seq",
+    "run_knapsack",
+    "jacobi_seq",
+    "run_jacobi",
+    "run_matmul",
+    "TreeParams",
+    "tree_seq",
+    "run_tree",
+    "run_histogram",
+    "ida_star_seq",
+    "random_puzzle",
+    "run_puzzle",
+    "sor_seq",
+    "run_sor",
+    "run_samplesort",
+    "MdParams",
+    "md_seq",
+    "run_md",
+    "lu_seq",
+    "run_lu",
+]

@@ -1,0 +1,107 @@
+"""Distributed-table workload (experiment T8).
+
+``workers`` chares each insert a slice of a synthetic key/value stream
+into a hash-partitioned distributed table (with acknowledgement replies),
+then look every key back up and verify the value round-tripped.  The run
+reports ``(inserted, verified, mismatches)`` — mismatches must be zero —
+and the harness divides ops by virtual time for the throughput table.
+
+Keys are strings (forcing real hashing/marshalling costs); values are the
+classic word-count integers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.util.rng import derive_seed
+
+__all__ = ["run_histogram", "HistogramMain", "OP_WORK"]
+
+OP_WORK = 10.0
+
+
+def _kv(stream_seed: int, i: int) -> Tuple[str, int]:
+    h = derive_seed(stream_seed, "histogram", i)
+    return f"key-{h % 100_000:05d}-{i}", int(h % 1_000)
+
+
+class HistogramWorker(Chare):
+    """Insert a key slice with acks, then find each key and verify it."""
+
+    def __init__(self, main, stream_seed, lo, hi):
+        self.main = main
+        self.stream_seed = stream_seed
+        self.lo, self.hi = lo, hi
+        self.acks = 0
+        self.checked = 0
+        self.mismatches = 0
+        for i in range(lo, hi):
+            key, value = _kv(stream_seed, i)
+            self.charge(OP_WORK)
+            self.table_insert("hist", key, value, reply_to=self.thishandle,
+                              reply_entry="inserted")
+
+    @entry
+    def inserted(self, key):
+        self.acks += 1
+        if self.acks == self.hi - self.lo:
+            for i in range(self.lo, self.hi):
+                key, _ = _kv(self.stream_seed, i)
+                self.charge(OP_WORK)
+                self.table_find("hist", key, self.thishandle, "found")
+
+    @entry
+    def found(self, key, value):
+        self.checked += 1
+        i = int(key.rsplit("-", 1)[1])
+        _, expected = _kv(self.stream_seed, i)
+        if value != expected:
+            self.mismatches += 1
+        if self.checked == self.hi - self.lo:
+            self.send(self.main, "worker_done", self.acks, self.checked,
+                      self.mismatches)
+
+
+class HistogramMain(Chare):
+    def __init__(self, items, workers, stream_seed):
+        self.new_table("hist")
+        self.pending = workers
+        self.totals = [0, 0, 0]
+        step = (items + workers - 1) // workers
+        for w in range(workers):
+            lo, hi = w * step, min(items, (w + 1) * step)
+            if lo >= hi:
+                self.pending -= 1
+                continue
+            self.create(HistogramWorker, self.thishandle, stream_seed, lo, hi)
+
+    @entry
+    def worker_done(self, acks, checked, mismatches):
+        self.totals[0] += acks
+        self.totals[1] += checked
+        self.totals[2] += mismatches
+        self.pending -= 1
+        if self.pending == 0:
+            self.exit(tuple(self.totals))
+
+
+def run_histogram(
+    machine: Machine,
+    items: int = 256,
+    workers: int = 8,
+    *,
+    stream_seed: int = 0,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[int, int, int], RunResult]:
+    """Run the table workload; returns ``((inserted, found, bad), RunResult)``."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(HistogramMain, items, workers, stream_seed)
+    return result.result, result

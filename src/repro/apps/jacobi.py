@@ -1,0 +1,221 @@
+"""Jacobi relaxation on a 2-D grid of pinned block chares.
+
+The communication-bound, statically decomposed member of the suite (every
+machine-comparison table needs one): an ``N x N`` grid is split into
+``B x B`` blocks; each block is a chare pinned round-robin to a PE.  Every
+iteration a block sends its four boundary strips to its neighbors, waits
+for the strips it needs, relaxes its interior with real numpy arithmetic,
+and proceeds — classic bulk-synchronous behavior expressed in a purely
+message-driven way (no barriers: each block counts the boundary messages
+of the iteration it is in, buffering early arrivals).
+
+Validation: the block program computes *exactly* the same grid as
+:func:`jacobi_seq` (same iteration count, same update order), so tests can
+require bitwise-equal numpy results.
+
+Work model: ``CELL_WORK`` per interior cell per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+
+__all__ = ["jacobi_seq", "JacobiMain", "run_jacobi", "CELL_WORK"]
+
+CELL_WORK = 5.0
+
+
+def make_grid(n: int) -> np.ndarray:
+    """Initial condition: zero interior, hot top edge, cool bottom edge."""
+    grid = np.zeros((n, n), dtype=np.float64)
+    grid[0, :] = 100.0
+    grid[-1, :] = -100.0
+    return grid
+
+
+def jacobi_seq(n: int, iterations: int) -> Tuple[np.ndarray, float]:
+    """Reference relaxation; returns final grid and last-step residual."""
+    grid = make_grid(n)
+    residual = 0.0
+    for _ in range(iterations):
+        new = grid.copy()
+        new[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        residual = float(np.max(np.abs(new - grid)))
+        grid = new
+    return grid, residual
+
+
+class JacobiBlock(Chare):
+    """One block of rows/cols; speaks to up/down/left/right neighbors."""
+
+    def __init__(self, bi, bj, block, iterations, main):
+        self.bi, self.bj = bi, bj
+        self.grid = block          # includes one ghost ring
+        self.iterations = iterations
+        self.main = main
+        self.iter = 0
+        self.neighbors: Dict[str, object] = {}
+        self._buffer: Dict[Tuple[int, str], np.ndarray] = {}
+        self._needed = 0
+        self._wired = False
+        self._done = False
+
+    @entry
+    def wire(self, neighbors):
+        """Receive handles of the (up to four) adjacent blocks and start."""
+        self.neighbors = dict(neighbors)
+        self._needed = len(self.neighbors)
+        self._wired = True
+        self._send_boundaries()
+        self._maybe_relax()
+
+    def _send_boundaries(self):
+        interior = self.grid[1:-1, 1:-1]
+        strips = {
+            "up": interior[0, :],
+            "down": interior[-1, :],
+            "left": interior[:, 0],
+            "right": interior[:, -1],
+        }
+        opposite = {"up": "down", "down": "up", "left": "right", "right": "left"}
+        for side, handle in self.neighbors.items():
+            self.charge(len(strips[side]) * 0.5)
+            self.send(handle, "boundary", self.iter, opposite[side], strips[side].copy())
+
+    @entry
+    def boundary(self, iteration, side, strip):
+        self._buffer[(iteration, side)] = strip
+        self._maybe_relax()
+
+    def _maybe_relax(self):
+        if not self._wired:
+            return  # a neighbor's strip can overtake our wire message
+        while True:
+            wanted = [(self.iter, side) for side in self.neighbors]
+            if self.iter >= self.iterations or not all(
+                key in self._buffer for key in wanted
+            ):
+                break
+            for key in wanted:
+                self._apply_ghost(key[1], self._buffer.pop(key))
+            self._relax()
+            if self.iter < self.iterations:
+                self._send_boundaries()
+        if self.iter >= self.iterations and not self._done:
+            self._finish()
+
+    def _apply_ghost(self, side, strip):
+        if side == "up":
+            self.grid[0, 1:-1] = strip
+        elif side == "down":
+            self.grid[-1, 1:-1] = strip
+        elif side == "left":
+            self.grid[1:-1, 0] = strip
+        else:
+            self.grid[1:-1, -1] = strip
+
+    def _relax(self):
+        g = self.grid
+        interior = g[1:-1, 1:-1]
+        new = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:])
+        # Cells on the *global* grid boundary (sides with no neighbor
+        # block) are Dirichlet-fixed, exactly as in jacobi_seq.
+        fixed = self._fixed_mask()
+        updated = np.where(fixed, interior, new)
+        self.charge(CELL_WORK * interior.size)
+        if self.iter == self.iterations - 1:
+            self.accumulate("residual", float(np.max(np.abs(updated - interior))))
+        g[1:-1, 1:-1] = updated
+        self.iter += 1
+
+    def _fixed_mask(self) -> np.ndarray:
+        h, w = self.grid[1:-1, 1:-1].shape
+        mask = np.zeros((h, w), dtype=bool)
+        if "up" not in self.neighbors:
+            mask[0, :] = True
+        if "down" not in self.neighbors:
+            mask[-1, :] = True
+        if "left" not in self.neighbors:
+            mask[:, 0] = True
+        if "right" not in self.neighbors:
+            mask[:, -1] = True
+        return mask
+
+    def _finish(self):
+        self._done = True
+        self.send(self.main, "block_done", self.bi, self.bj,
+                  self.grid[1:-1, 1:-1].copy())
+
+
+class JacobiMain(Chare):
+    def __init__(self, n, blocks, iterations):
+        self.new_accumulator("residual", 0.0, "max")
+        self.n, self.blocks = n, blocks
+        if n % blocks:
+            raise ValueError(f"grid size {n} not divisible into {blocks} blocks")
+        self.bs = n // blocks
+        self.result = np.zeros((n, n))
+        self.pending = blocks * blocks
+        grid = make_grid(n)
+        handles = {}
+        pe = 0
+        for bi in range(blocks):
+            for bj in range(blocks):
+                block = np.zeros((self.bs + 2, self.bs + 2))
+                block[1:-1, 1:-1] = grid[
+                    bi * self.bs : (bi + 1) * self.bs, bj * self.bs : (bj + 1) * self.bs
+                ]
+                handles[(bi, bj)] = self.create(
+                    JacobiBlock, bi, bj, block, iterations, self.thishandle,
+                    pe=pe % self.num_pes,
+                )
+                pe += 1
+        for (bi, bj), handle in handles.items():
+            nbrs = {}
+            if bi > 0:
+                nbrs["up"] = handles[(bi - 1, bj)]
+            if bi < blocks - 1:
+                nbrs["down"] = handles[(bi + 1, bj)]
+            if bj > 0:
+                nbrs["left"] = handles[(bi, bj - 1)]
+            if bj < blocks - 1:
+                nbrs["right"] = handles[(bi, bj + 1)]
+            self.send(handle, "wire", tuple(nbrs.items()))
+
+    @entry
+    def block_done(self, bi, bj, block):
+        bs = self.bs
+        self.result[bi * bs : (bi + 1) * bs, bj * bs : (bj + 1) * bs] = block
+        self.pending -= 1
+        if self.pending == 0:
+            self.collect_accumulator("residual", self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, residual):
+        self.exit((self.result, residual))
+
+
+def run_jacobi(
+    machine: Machine,
+    n: int = 32,
+    blocks: int = 4,
+    iterations: int = 10,
+    *,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[np.ndarray, float], RunResult]:
+    """Run block-parallel Jacobi; returns ``((grid, residual), RunResult)``."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(JacobiMain, n, blocks, iterations)
+    return result.result, result

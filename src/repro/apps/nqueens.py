@@ -1,0 +1,135 @@
+"""N-Queens: count all placements of N nonattacking queens.
+
+The classic Chare Kernel demonstration program: a dynamically growing tree
+of fine-grain chares, an accumulator for the solution count, and quiescence
+detection for termination (there is no "last message" a node could know
+about).
+
+Board state travels as three bitmasks (columns, both diagonal directions),
+so messages stay small and the per-node work is uniform.  ``grainsize``
+rows from the bottom are searched sequentially inside one chare — the knob
+experiment F2 sweeps.
+
+Work model: ``NODE_WORK`` units per search-tree node visited (placement
+test + mask updates), both in the chare program and in the sequential
+reference, so speedups compare identical total work.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.util.priority import BitVectorPriority
+
+__all__ = ["nqueens_seq", "NQueensMain", "run_nqueens", "NODE_WORK"]
+
+#: Abstract work units charged per tree node visited (~tens of instructions).
+NODE_WORK = 12.0
+
+
+def _count_from(n: int, row: int, cols: int, d1: int, d2: int) -> Tuple[int, int]:
+    """Sequential count below a partial placement.
+
+    Returns ``(solutions, nodes_visited)``; the node count drives work
+    charging so the simulated cost matches the reference cost model.
+    """
+    if row == n:
+        return 1, 1
+    solutions = 0
+    nodes = 1
+    free = ~(cols | d1 | d2) & ((1 << n) - 1)
+    while free:
+        bit = free & -free
+        free ^= bit
+        s, v = _count_from(
+            n, row + 1, cols | bit, ((d1 | bit) << 1) & ((1 << n) - 1), (d2 | bit) >> 1
+        )
+        solutions += s
+        nodes += v
+    return solutions, nodes
+
+
+def nqueens_seq(n: int) -> Tuple[int, int]:
+    """All-solutions count and total nodes for an ``n``-queens board."""
+    return _count_from(n, 0, 0, 0, 0)
+
+
+class NQueensNode(Chare):
+    """One internal node of the search tree."""
+
+    def __init__(self, n, row, cols, d1, d2, grainsize, prio):
+        self.charge(NODE_WORK)
+        mask = (1 << n) - 1
+        if n - row <= grainsize:
+            solutions, nodes = _count_from(n, row, cols, d1, d2)
+            self.charge(NODE_WORK * max(0, nodes - 1))
+            if solutions:
+                self.accumulate("solutions", solutions)
+            self.accumulate("nodes", nodes)
+            return
+        self.accumulate("nodes", 1)
+        free = ~(cols | d1 | d2) & mask
+        index = 0
+        fanout = bin(free).count("1")
+        while free:
+            bit = free & -free
+            free ^= bit
+            child_prio = prio.child(index, fanout) if prio is not None else None
+            self.create(
+                NQueensNode,
+                n,
+                row + 1,
+                cols | bit,
+                ((d1 | bit) << 1) & mask,
+                (d2 | bit) >> 1,
+                grainsize,
+                child_prio,
+                priority=child_prio,
+            )
+            index += 1
+
+
+class NQueensMain(Chare):
+    """Main chare: declares accumulators, seeds the root, detects quiescence."""
+
+    def __init__(self, n, grainsize, use_priorities):
+        self.new_accumulator("solutions", 0, "sum")
+        self.new_accumulator("nodes", 0, "sum")
+        self._partial = {}
+        root_prio = BitVectorPriority() if use_priorities else None
+        self.create(NQueensNode, n, 0, 0, 0, 0, grainsize, root_prio,
+                    priority=root_prio)
+        self.start_quiescence(self.thishandle, "quiet")
+
+    @entry
+    def quiet(self):
+        self.collect_accumulator("solutions", self.thishandle, "collected")
+        self.collect_accumulator("nodes", self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, value):
+        name = tag.split(":")[1]
+        self._partial[name] = value
+        if len(self._partial) == 2:
+            self.exit((self._partial["solutions"], self._partial["nodes"]))
+
+
+def run_nqueens(
+    machine: Machine,
+    n: int = 8,
+    grainsize: int = 3,
+    *,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    use_priorities: bool = False,
+    **kernel_kwargs,
+) -> Tuple[Tuple[int, int], RunResult]:
+    """Run parallel N-queens; returns ``((solutions, nodes), RunResult)``."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(NQueensMain, n, grainsize, use_priorities)
+    return result.result, result

@@ -1,0 +1,99 @@
+"""Prime counting by trial division over statically decomposed ranges.
+
+The static-work member of the suite: the main chare splits ``[2, limit)``
+into ``chunks`` ranges and creates one worker per range.  Work per
+candidate grows with its magnitude (trial division up to sqrt), so equal
+ranges carry *unequal* work — with pinned placement (``pin=True``) this
+exposes static imbalance; with balancer placement the runtime smooths it.
+
+Counting uses the accumulator abstraction; termination uses quiescence.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+
+__all__ = ["primes_seq", "PrimesMain", "run_primes", "DIV_WORK"]
+
+#: Work units per trial division performed.
+DIV_WORK = 1.0
+
+
+def _count_range(lo: int, hi: int) -> Tuple[int, int]:
+    """Primes in [lo, hi) and the number of trial divisions performed."""
+    count = 0
+    divisions = 0
+    for x in range(max(lo, 2), hi):
+        if x % 2 == 0:
+            divisions += 1
+            if x == 2:
+                count += 1
+            continue
+        d = 3
+        is_prime = True
+        while d * d <= x:
+            divisions += 1
+            if x % d == 0:
+                is_prime = False
+                break
+            d += 2
+        if is_prime:
+            count += 1
+    return count, divisions
+
+
+def primes_seq(limit: int) -> Tuple[int, int]:
+    """Primes below ``limit`` and total trial divisions (work proxy)."""
+    return _count_range(2, limit)
+
+
+class PrimesWorker(Chare):
+    def __init__(self, lo, hi):
+        count, divisions = _count_range(lo, hi)
+        self.charge(DIV_WORK * divisions)
+        self.accumulate("primes", count)
+
+
+class PrimesMain(Chare):
+    def __init__(self, limit, chunks, pin):
+        self.new_accumulator("primes", 0, "sum")
+        step = max(1, (limit - 2 + chunks - 1) // chunks)
+        pe = 0
+        for lo in range(2, limit, step):
+            hi = min(limit, lo + step)
+            if pin:
+                self.create(PrimesWorker, lo, hi, pe=pe % self.num_pes)
+                pe += 1
+            else:
+                self.create(PrimesWorker, lo, hi)
+        self.start_quiescence(self.thishandle, "quiet")
+
+    @entry
+    def quiet(self):
+        self.collect_accumulator("primes", self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, total):
+        self.exit(total)
+
+
+def run_primes(
+    machine: Machine,
+    limit: int = 20_000,
+    chunks: int = 64,
+    *,
+    pin: bool = False,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[int, RunResult]:
+    """Run parallel prime counting; returns ``(count, RunResult)``."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(PrimesMain, limit, chunks, pin)
+    return result.result, result

@@ -1,0 +1,251 @@
+"""Sliding-tile puzzle solved by parallel IDA* (iterative deepening A*).
+
+The state-space-search member of the suite, patterned on the Chare Kernel's
+15-puzzle program.  Iterative deepening is a sequence of *rounds*: each
+round is a cost-bounded depth-first search fanned out as chares, terminated
+by **quiescence detection**; if no solution was found the main chare raises
+the bound to the smallest f-value that exceeded it and launches the next
+round.  This exercises *repeated* QD and accumulator collection, which the
+one-shot programs don't.
+
+Design notes on the shared variables (the interesting part):
+
+* the round's cost bound travels **in the seed arguments** (it must *rise*
+  between rounds, which no monotonic variable can express);
+* ``next_bound`` is a min-accumulator over **epoch-tagged pairs**
+  ``(round, f)`` with a custom commutative-associative combiner that
+  prefers the newer round — accumulators are cumulative for the whole run,
+  so a plain min would get stuck on the previous round's value;
+* ``best_solution`` is a min-**monotonic**: once any chare finds a
+  solution within the bound, every PE's cached copy lets the rest of the
+  round prune immediately.
+
+Boards are ``k x k`` (k=3, the 8-puzzle, by default — 15-puzzle instances
+are too deep for CI).  The heuristic is Manhattan distance; node priority
+is the f-value.  Work model: ``NODE_WORK`` per node visited, identical in
+the sequential reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.util.rng import RngStream
+
+__all__ = [
+    "PuzzleState",
+    "goal_state",
+    "manhattan",
+    "neighbors",
+    "random_puzzle",
+    "ida_star_seq",
+    "PuzzleMain",
+    "run_puzzle",
+    "NODE_WORK",
+]
+
+NODE_WORK = 20.0
+_INF = 1 << 30
+
+#: A board is a tuple of k*k ints, 0 = blank, goal = (1, 2, ..., k*k-1, 0).
+PuzzleState = Tuple[int, ...]
+
+
+def goal_state(k: int) -> PuzzleState:
+    return tuple(list(range(1, k * k)) + [0])
+
+
+def manhattan(board: PuzzleState, k: int) -> int:
+    """Sum of tile distances from their goal squares (admissible)."""
+    total = 0
+    for pos, tile in enumerate(board):
+        if tile == 0:
+            continue
+        goal = tile - 1
+        total += abs(pos // k - goal // k) + abs(pos % k - goal % k)
+    return total
+
+
+def neighbors(board: PuzzleState, k: int) -> List[PuzzleState]:
+    """Boards reachable by one blank move (deterministic order: U,D,L,R)."""
+    out = []
+    blank = board.index(0)
+    r, c = divmod(blank, k)
+    for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+        nr, nc = r + dr, c + dc
+        if 0 <= nr < k and 0 <= nc < k:
+            npos = nr * k + nc
+            new = list(board)
+            new[blank], new[npos] = new[npos], new[blank]
+            out.append(tuple(new))
+    return out
+
+
+def random_puzzle(k: int = 3, moves: int = 20, seed: int = 0) -> PuzzleState:
+    """A solvable board: scramble the goal with ``moves`` random moves."""
+    rng = RngStream(seed, "puzzle", k, moves)
+    board = goal_state(k)
+    prev = None
+    for _ in range(moves):
+        options = [b for b in neighbors(board, k) if b != prev]
+        prev = board
+        board = options[rng.randint(0, len(options))]
+    return board
+
+
+def _bounded_dfs(
+    board: PuzzleState, k: int, g: int, bound: int, path_prev: Optional[PuzzleState]
+) -> Tuple[Optional[int], int, int]:
+    """Cost-bounded DFS.  Returns (solution_cost|None, next_bound, nodes)."""
+    h = manhattan(board, k)
+    f = g + h
+    if f > bound:
+        return None, f, 1
+    if h == 0:
+        return g, f, 1
+    best_next = _INF
+    nodes = 1
+    for nb in neighbors(board, k):
+        if nb == path_prev:
+            continue  # never undo the last move
+        cost, nxt, sub = _bounded_dfs(nb, k, g + 1, bound, board)
+        nodes += sub
+        if cost is not None:
+            return cost, nxt, nodes
+        best_next = min(best_next, nxt)
+    return None, best_next, nodes
+
+
+def ida_star_seq(board: PuzzleState, k: int) -> Tuple[int, int, int]:
+    """Sequential IDA*: ``(solution_cost, rounds, total_nodes)``."""
+    bound = manhattan(board, k)
+    rounds = 0
+    total_nodes = 0
+    while True:
+        rounds += 1
+        cost, nxt, nodes = _bounded_dfs(board, k, 0, bound, None)
+        total_nodes += nodes
+        if cost is not None:
+            return cost, rounds, total_nodes
+        if nxt >= _INF:
+            raise RuntimeError("unsolvable board (parity violation?)")
+        bound = nxt
+
+
+def _epoch_min(a: Tuple[int, int], b: Tuple[int, int]) -> Tuple[int, int]:
+    """Combiner for (round, f) pairs: newest round wins; min f within it.
+
+    Commutative and associative, so it is a legal accumulator op; it makes
+    a cumulative accumulator behave like a fresh min-accumulator per round.
+    """
+    if a[0] != b[0]:
+        return a if a[0] > b[0] else b
+    return a if a[1] <= b[1] else b
+
+
+class PuzzleNode(Chare):
+    """Expand one node of the current round's cost-bounded search."""
+
+    def __init__(self, board, prev, g, bound, round_no):
+        k = self.readonly("puzzle_k")
+        split = self.readonly("puzzle_split")
+        self.charge(NODE_WORK)
+        self.accumulate("nodes", 1)
+        if self.read_monotonic("best_solution") <= bound:
+            return  # someone already solved this round: prune fast
+        h = manhattan(board, k)
+        f = g + h
+        if f > bound:
+            self.accumulate("next_bound", (round_no, f))
+            return
+        if h == 0:
+            self.update_monotonic("best_solution", g)
+            self.accumulate("solution", g)
+            return
+        if g >= split:
+            cost, nxt, nodes = _bounded_dfs(board, k, g, bound, prev)
+            self.charge(NODE_WORK * max(0, nodes - 1))
+            self.accumulate("nodes", nodes - 1)
+            if cost is not None:
+                self.update_monotonic("best_solution", cost)
+                self.accumulate("solution", cost)
+            else:
+                self.accumulate("next_bound", (round_no, nxt))
+            return
+        for nb in neighbors(board, k):
+            if nb == prev:
+                continue
+            child_f = g + 1 + manhattan(nb, k)
+            self.create(PuzzleNode, nb, board, g + 1, bound, round_no,
+                        priority=child_f)
+
+
+class PuzzleMain(Chare):
+    """Drives IDA* rounds; each round terminates via quiescence detection."""
+
+    def __init__(self, board, k, split):
+        self.set_readonly("puzzle_k", k)
+        self.set_readonly("puzzle_split", split)
+        self.new_accumulator("nodes", 0, "sum")
+        self.new_accumulator("next_bound", (0, _INF), _epoch_min)
+        self.new_accumulator("solution", _INF, "min")
+        self.new_monotonic("best_solution", _INF, "min", "eager")
+        self.board = board
+        self.round_no = 0
+        self.bound = manhattan(board, k)
+        self._launch()
+
+    def _launch(self):
+        self.round_no += 1
+        self._got = {}
+        self.create(PuzzleNode, self.board, None, 0, self.bound, self.round_no,
+                    priority=0)
+        self.start_quiescence(self.thishandle, "round_done")
+
+    @entry
+    def round_done(self):
+        for name in ("nodes", "next_bound", "solution"):
+            self.collect_accumulator(name, self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, value):
+        self._got[tag.split(":")[1]] = value
+        if len(self._got) < 3:
+            return
+        if self._got["solution"] < _INF:
+            self.exit((self._got["solution"], self.round_no, self._got["nodes"]))
+            return
+        epoch, next_bound = self._got["next_bound"]
+        if epoch != self.round_no or next_bound >= _INF:
+            raise RuntimeError("IDA* round produced no frontier (unsolvable?)")
+        self.bound = next_bound
+        self._launch()
+
+
+def run_puzzle(
+    machine: Machine,
+    board: Optional[PuzzleState] = None,
+    k: int = 3,
+    *,
+    scramble: int = 18,
+    instance_seed: int = 0,
+    split: int = 4,
+    queueing: str = "prio",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[int, int, int], RunResult]:
+    """Run parallel IDA*; returns ``((cost, rounds, nodes), RunResult)``.
+
+    ``split`` is the depth beyond which subtrees run sequentially inside
+    one chare (the grain knob); ``scramble`` controls instance difficulty.
+    """
+    if board is None:
+        board = random_puzzle(k, scramble, instance_seed)
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(PuzzleMain, board, k, split)
+    return result.result, result

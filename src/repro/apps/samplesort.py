@@ -1,0 +1,149 @@
+"""Parallel sample sort: the all-to-all communication benchmark.
+
+Sorting is the classic stress test for *data movement* (rather than
+compute): every phase is communication-shaped differently.
+
+1. **Local sort** — each of ``W`` worker chares sorts its slice
+   (``n log n`` work).
+2. **Sampling** — each worker sends ``oversample`` regular samples to the
+   coordinator (gather).
+3. **Splitters** — the coordinator sorts the samples, picks ``W-1``
+   splitters, and broadcasts them (scatter).
+4. **All-to-all** — each worker partitions its sorted slice by the
+   splitters and sends bucket ``j`` to worker ``j``: ``W²`` messages with
+   *data-dependent sizes*.
+5. **Merge** — each worker k-way-merges what it received and returns its
+   bucket to the coordinator, which concatenates.
+
+The result is validated elementwise against ``numpy.sort``.  Work model:
+``CMP_WORK`` per comparison-ish step in sort/merge/partition.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.util.rng import RngStream
+
+__all__ = ["run_samplesort", "SampleSortMain", "CMP_WORK"]
+
+CMP_WORK = 0.8
+
+
+def _sort_work(n: int) -> float:
+    return CMP_WORK * n * max(1.0, math.log2(max(n, 2)))
+
+
+class SortWorker(Chare):
+    """Owns one slice; participates in sample, all-to-all, merge phases."""
+
+    def __init__(self, index, workers, data, main):
+        self.index = index
+        self.workers = workers
+        self.main = main
+        self.peers: List = []
+        self.data = np.sort(np.asarray(data))
+        self.charge(_sort_work(len(self.data)))
+        self.received: List[np.ndarray] = []
+        self.expected = workers
+
+    @entry
+    def sample(self, oversample):
+        n = len(self.data)
+        if n == 0:
+            picks = np.empty(0)
+        else:
+            idx = np.linspace(0, n - 1, num=min(oversample, n)).astype(int)
+            picks = self.data[idx]
+        self.charge(CMP_WORK * len(picks))
+        self.send(self.main, "got_sample", self.index, picks)
+
+    @entry
+    def partition(self, peers, splitters):
+        """Split the local slice by the splitters; ship bucket j to peer j."""
+        self.peers = list(peers)
+        splits = np.asarray(splitters)
+        bounds = np.searchsorted(self.data, splits, side="right")
+        self.charge(CMP_WORK * (len(self.data) + len(splits)))
+        pieces = np.split(self.data, bounds)
+        for j, piece in enumerate(pieces):
+            self.send(self.peers[j], "bucket", piece)
+
+    @entry
+    def bucket(self, piece):
+        self.received.append(np.asarray(piece))
+        if len(self.received) == self.expected:
+            merged = np.sort(np.concatenate(self.received))
+            self.charge(_sort_work(len(merged)))
+            self.send(self.main, "sorted_bucket", self.index, merged)
+
+
+class SampleSortMain(Chare):
+    def __init__(self, data, workers, oversample):
+        self.workers = workers
+        self.oversample = oversample
+        self.samples: List[Tuple[int, np.ndarray]] = []
+        self.buckets: dict = {}
+        n = len(data)
+        step = (n + workers - 1) // workers
+        self.handles = [
+            self.create(
+                SortWorker, w, workers, data[w * step:(w + 1) * step],
+                self.thishandle, pe=w % self.num_pes,
+            )
+            for w in range(workers)
+        ]
+        for h in self.handles:
+            self.send(h, "sample", oversample)
+
+    @entry
+    def got_sample(self, index, picks):
+        self.samples.append((index, picks))
+        if len(self.samples) < self.workers:
+            return
+        allsamples = np.sort(np.concatenate([p for _, p in self.samples]))
+        self.charge(_sort_work(len(allsamples)))
+        # W-1 evenly spaced splitters over the sample distribution.
+        if len(allsamples) and self.workers > 1:
+            idx = np.linspace(0, len(allsamples) - 1, num=self.workers + 1)
+            splitters = allsamples[idx[1:-1].astype(int)]
+        else:
+            splitters = np.empty(0)
+        peers = tuple(self.handles)
+        for h in self.handles:
+            self.send(h, "partition", peers, splitters)
+
+    @entry
+    def sorted_bucket(self, index, merged):
+        self.buckets[index] = merged
+        if len(self.buckets) < self.workers:
+            return
+        result = np.concatenate([self.buckets[w] for w in range(self.workers)])
+        self.exit(result)
+
+
+def run_samplesort(
+    machine: Machine,
+    n: int = 4096,
+    workers: int = 8,
+    *,
+    oversample: int = 16,
+    data_seed: int = 0,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[np.ndarray, np.ndarray], RunResult]:
+    """Run sample sort; returns ``((input, sorted_output), RunResult)``."""
+    rng = RngStream(data_seed, "samplesort", n)
+    data = rng.generator.standard_normal(n)
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(SampleSortMain, data, workers, oversample)
+    return (data, result.result), result

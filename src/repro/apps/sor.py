@@ -1,0 +1,262 @@
+"""Red-black successive over-relaxation (SOR) with convergence detection.
+
+Where :mod:`repro.apps.jacobi` runs a *fixed* number of iterations, SOR
+iterates **until converged**, which requires a global decision every
+iteration — the bulk-synchronous "iterate / reduce residual / continue or
+stop" pattern.  Each iteration is two half-sweeps (red cells, then black
+cells), each preceded by a ghost exchange, so the app also doubles the
+neighbor traffic per step.
+
+The coordination is main-chare-centric: every block reports its local
+residual; the main chare folds them and broadcasts ``continue``/``stop``.
+Validation is exact: the block program computes bitwise the same grid as
+:func:`sor_seq` for any block decomposition.
+
+Work model: ``CELL_WORK`` per interior cell per half-sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps.jacobi import make_grid
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+
+__all__ = ["sor_seq", "SorDriver", "run_sor", "CELL_WORK"]
+
+CELL_WORK = 6.0
+
+
+def _color_mask(n: int, offset_r: int, offset_c: int, color: int) -> np.ndarray:
+    """Checkerboard mask in *global* coordinates for an interior block."""
+    rows = np.arange(offset_r, offset_r + n)[:, None]
+    cols = np.arange(offset_c, offset_c + n)[None, :]
+    return (rows + cols) % 2 == color
+
+
+def _sweep(grid: np.ndarray, omega: float, color: int) -> float:
+    """One in-place half-sweep over the full grid; returns max |delta|."""
+    n = grid.shape[0]
+    interior = grid[1:-1, 1:-1]
+    stencil = 0.25 * (
+        grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+    )
+    mask = _color_mask(n - 2, 1, 1, color)
+    new = interior + omega * (stencil - interior)
+    delta = np.where(mask, np.abs(new - interior), 0.0)
+    grid[1:-1, 1:-1] = np.where(mask, new, interior)
+    return float(delta.max()) if delta.size else 0.0
+
+
+def sor_seq(
+    n: int, tol: float = 1e-3, omega: float = 1.5, max_iters: int = 500
+) -> Tuple[np.ndarray, int, float]:
+    """Reference SOR; returns ``(grid, iterations, final_residual)``."""
+    grid = make_grid(n)
+    residual = float("inf")
+    iters = 0
+    while iters < max_iters:
+        r_red = _sweep(grid, omega, 0)
+        r_black = _sweep(grid, omega, 1)
+        residual = max(r_red, r_black)
+        iters += 1
+        if residual < tol:
+            break
+    return grid, iters, residual
+
+
+class SorBlock(Chare):
+    """One block; two ghost exchanges per iteration, residual to main."""
+
+    def __init__(self, bi, bj, block, offset, main, omega):
+        self.bi, self.bj = bi, bj
+        self.grid = block              # with ghost ring
+        self.offset = offset           # global (row, col) of interior [0,0]
+        self.main = main
+        self.omega = omega
+        self.phase = 0                 # 2*iteration + color
+        self.neighbors: Dict[str, object] = {}
+        self._buffer: Dict[Tuple[int, str], np.ndarray] = {}
+        self._wired = False
+        self._iter_residual = 0.0
+
+    @entry
+    def wire(self, neighbors):
+        self.neighbors = dict(neighbors)
+        self._wired = True
+        self._send_boundaries()
+        self._maybe_sweep()
+
+    def _send_boundaries(self):
+        interior = self.grid[1:-1, 1:-1]
+        strips = {
+            "up": interior[0, :], "down": interior[-1, :],
+            "left": interior[:, 0], "right": interior[:, -1],
+        }
+        opposite = {"up": "down", "down": "up", "left": "right", "right": "left"}
+        for side, handle in self.neighbors.items():
+            self.charge(len(strips[side]) * 0.5)
+            self.send(handle, "boundary", self.phase, opposite[side],
+                      strips[side].copy())
+
+    @entry
+    def boundary(self, phase, side, strip):
+        self._buffer[(phase, side)] = strip
+        self._maybe_sweep()
+
+    @entry
+    def verdict(self, go):
+        if go:
+            self._send_boundaries()
+            self._maybe_sweep()
+        else:
+            self.send(self.main, "block_result", self.bi, self.bj,
+                      self.grid[1:-1, 1:-1].copy())
+
+    def _maybe_sweep(self):
+        if not self._wired:
+            return
+        while True:
+            wanted = [(self.phase, side) for side in self.neighbors]
+            if not all(key in self._buffer for key in wanted):
+                return
+            for key in wanted:
+                self._apply_ghost(key[1], self._buffer.pop(key))
+            color = self.phase % 2
+            self._half_sweep(color)
+            self.phase += 1
+            if self.phase % 2 == 0:
+                # Iteration complete: report residual, await the verdict.
+                self.send(self.main, "residual", self._iter_residual)
+                self._iter_residual = 0.0
+                return
+            self._send_boundaries()
+
+    def _apply_ghost(self, side, strip):
+        g = self.grid
+        if side == "up":
+            g[0, 1:-1] = strip
+        elif side == "down":
+            g[-1, 1:-1] = strip
+        elif side == "left":
+            g[1:-1, 0] = strip
+        else:
+            g[1:-1, -1] = strip
+
+    def _half_sweep(self, color):
+        g = self.grid
+        interior = g[1:-1, 1:-1]
+        stencil = 0.25 * (
+            g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:]
+        )
+        mask = _color_mask(interior.shape[0], self.offset[0], self.offset[1], color)
+        fixed = self._fixed_mask()
+        update = mask & ~fixed
+        new = interior + self.omega * (stencil - interior)
+        delta = np.where(update, np.abs(new - interior), 0.0)
+        self.charge(CELL_WORK * interior.size)
+        self._iter_residual = max(
+            self._iter_residual, float(delta.max()) if delta.size else 0.0
+        )
+        g[1:-1, 1:-1] = np.where(update, new, interior)
+
+    def _fixed_mask(self) -> np.ndarray:
+        h, w = self.grid[1:-1, 1:-1].shape
+        mask = np.zeros((h, w), dtype=bool)
+        if "up" not in self.neighbors:
+            mask[0, :] = True
+        if "down" not in self.neighbors:
+            mask[-1, :] = True
+        if "left" not in self.neighbors:
+            mask[:, 0] = True
+        if "right" not in self.neighbors:
+            mask[:, -1] = True
+        return mask
+
+
+class SorDriver(Chare):
+    """Main chare: builds and wires the block grid, folds residuals, and
+    broadcasts the per-iteration continue/stop verdict."""
+
+    def __init__(self, n, blocks, tol, omega, max_iters):
+        if n % blocks:
+            raise ValueError(f"grid {n} not divisible into {blocks} blocks")
+        self.n, self.blocks = n, blocks
+        self.bs = n // blocks
+        self.tol, self.max_iters = tol, max_iters
+        self.iters = 0
+        self.max_residual = 0.0
+        self.reports = 0
+        self.collected = 0
+        self.result_grid = np.zeros((n, n))
+        grid = make_grid(n)
+        self.handles = {}
+        pe = 0
+        bs = self.bs
+        for bi in range(blocks):
+            for bj in range(blocks):
+                block = np.zeros((bs + 2, bs + 2))
+                block[1:-1, 1:-1] = grid[bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs]
+                self.handles[(bi, bj)] = self.create(
+                    SorBlock, bi, bj, block, (bi * bs, bj * bs),
+                    self.thishandle, omega, pe=pe % self.num_pes,
+                )
+                pe += 1
+        for (bi, bj), handle in self.handles.items():
+            nbrs = {}
+            if bi > 0:
+                nbrs["up"] = self.handles[(bi - 1, bj)]
+            if bi < blocks - 1:
+                nbrs["down"] = self.handles[(bi + 1, bj)]
+            if bj > 0:
+                nbrs["left"] = self.handles[(bi, bj - 1)]
+            if bj < blocks - 1:
+                nbrs["right"] = self.handles[(bi, bj + 1)]
+            self.send(handle, "wire", tuple(nbrs.items()))
+
+    @entry
+    def residual(self, value):
+        self.max_residual = max(self.max_residual, value)
+        self.reports += 1
+        if self.reports < self.blocks * self.blocks:
+            return
+        self.reports = 0
+        self.iters += 1
+        done = self.max_residual < self.tol or self.iters >= self.max_iters
+        self.final_residual = self.max_residual
+        self.max_residual = 0.0
+        self.charge(self.blocks * self.blocks)
+        for handle in self.handles.values():
+            self.send(handle, "verdict", not done)
+
+    @entry
+    def block_result(self, bi, bj, block):
+        bs = self.bs
+        self.result_grid[bi * bs:(bi + 1) * bs, bj * bs:(bj + 1) * bs] = block
+        self.collected += 1
+        if self.collected == self.blocks * self.blocks:
+            self.exit((self.result_grid, self.iters, self.final_residual))
+
+
+def run_sor(
+    machine: Machine,
+    n: int = 32,
+    blocks: int = 4,
+    *,
+    tol: float = 1e-3,
+    omega: float = 1.5,
+    max_iters: int = 500,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[np.ndarray, int, float], RunResult]:
+    """Run red-black SOR; returns ``((grid, iterations, residual), RunResult)``."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(SorDriver, n, blocks, tol, omega, max_iters)
+    return result.result, result

@@ -1,0 +1,257 @@
+"""Traveling-salesman by branch and bound.
+
+The speculative-parallelism benchmark: the quality of the global *bound*
+and the order the pool is searched decide how many nodes the computation
+expands, so this app is the subject of both queueing-strategy experiment
+T6 and monotonic-propagation experiment T7.
+
+Structure:
+
+* the distance matrix is a **read-only** variable (replicated at startup),
+* the incumbent best tour cost is a **monotonic min** variable used to
+  prune; its propagation mode is the T7 knob,
+* the exact optimum is *also* tracked by a min-**accumulator**, so the
+  answer is provably right even with propagation off,
+* expanded-node counts go to a sum-accumulator (T6's measured quantity),
+* child nodes are seeds carrying an integer priority = their lower bound,
+  so the ``prio`` queueing strategy searches best-first.
+
+The lower bound is the classic cheap one: cost so far + for every
+unvisited city (and the current city) half the sum of its two cheapest
+edges to other still-relevant cities, rounded down — admissible and
+O(n²) per node; the same bound is used by the sequential reference so node
+counts are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.util.rng import RngStream
+
+__all__ = ["TspInstance", "tsp_seq", "TspMain", "run_tsp", "NODE_WORK_PER_CITY"]
+
+#: Work units per remaining-city when bounding/expanding one node.
+NODE_WORK_PER_CITY = 6.0
+
+
+@dataclass(frozen=True)
+class TspInstance:
+    """A symmetric TSP instance with integer distances."""
+
+    dist: tuple  # tuple of tuples (hashable, message-friendly)
+
+    @property
+    def n(self) -> int:
+        return len(self.dist)
+
+    def __wire_size__(self) -> int:
+        # Dense int32 distance matrix on the wire (init broadcast cost).
+        return 4 * self.n * self.n
+
+    @classmethod
+    def random(cls, n: int, seed: int = 0, lo: int = 10, hi: int = 100) -> "TspInstance":
+        rng = RngStream(seed, "tsp", n)
+        m = rng.generator.integers(lo, hi, size=(n, n))
+        m = np.triu(m, 1)
+        m = m + m.T
+        return cls(tuple(tuple(int(x) for x in row) for row in m))
+
+
+def _lower_bound(inst: TspInstance, path: Tuple[int, ...], cost: int) -> int:
+    """Admissible bound: path cost + half-sum of two cheapest useful edges."""
+    n = inst.n
+    visited = set(path)
+    frontier = {path[-1], path[0]}
+    est = 2 * cost
+    for city in range(n):
+        if city in visited and city not in frontier:
+            continue
+        edges = sorted(
+            inst.dist[city][other]
+            for other in range(n)
+            if other != city and (other not in visited or other in frontier)
+        )
+        if city in frontier:
+            est += edges[0] if edges else 0
+        else:
+            est += sum(edges[:2])
+    return est // 2
+
+
+def tsp_seq(inst: TspInstance) -> Tuple[int, int]:
+    """Best tour cost and nodes expanded (sequential depth-first B&B)."""
+    n = inst.n
+    best = [_greedy_tour(inst)]
+    nodes = [0]
+
+    def dfs(path: Tuple[int, ...], cost: int) -> None:
+        nodes[0] += 1
+        if len(path) == n:
+            total = cost + inst.dist[path[-1]][path[0]]
+            if total < best[0]:
+                best[0] = total
+            return
+        if _lower_bound(inst, path, cost) >= best[0]:
+            return
+        last = path[-1]
+        children = sorted(
+            (inst.dist[last][city], city) for city in range(n) if city not in path
+        )
+        for d, city in children:
+            dfs(path + (city,), cost + d)
+
+    dfs((0,), 0)
+    return best[0], nodes[0]
+
+
+def _solve_subtree(
+    inst: TspInstance, path: Tuple[int, ...], cost: int, incumbent: int
+) -> Tuple[Optional[int], int]:
+    """Depth-first B&B below ``path`` with a fixed starting incumbent.
+
+    Returns ``(best_or_None, nodes_visited)``; ``None`` means nothing in
+    this subtree beat the incumbent.
+    """
+    n = inst.n
+    best = [incumbent]
+    found = [False]
+    nodes = [0]
+
+    def dfs(p: Tuple[int, ...], c: int) -> None:
+        nodes[0] += 1
+        if len(p) == n:
+            total = c + inst.dist[p[-1]][p[0]]
+            if total < best[0]:
+                best[0] = total
+                found[0] = True
+            return
+        if _lower_bound(inst, p, c) >= best[0]:
+            return
+        last = p[-1]
+        children = sorted(
+            (inst.dist[last][city], city) for city in range(n) if city not in p
+        )
+        for d, city in children:
+            dfs(p + (city,), c + d)
+
+    dfs(path, cost)
+    return (best[0] if found[0] else None), nodes[0]
+
+
+def _greedy_tour(inst: TspInstance) -> int:
+    """Nearest-neighbor tour cost — the initial incumbent."""
+    n = inst.n
+    city, cost, seen = 0, 0, {0}
+    for _ in range(n - 1):
+        d, nxt = min(
+            (inst.dist[city][other], other) for other in range(n) if other not in seen
+        )
+        cost += d
+        city = nxt
+        seen.add(nxt)
+    return cost + inst.dist[city][0]
+
+
+class TspNode(Chare):
+    """Expand one partial tour; prune against the monotonic bound."""
+
+    def __init__(self, path, cost):
+        inst: TspInstance = self.readonly("tsp_instance")
+        grain = self.readonly("tsp_grain")
+        n = inst.n
+        remaining = n - len(path)
+        self.charge(NODE_WORK_PER_CITY * max(1, remaining + 1))
+        self.accumulate("nodes", 1)
+        if len(path) == n:
+            total = cost + inst.dist[path[-1]][path[0]]
+            self.update_monotonic("bound", total)
+            self.accumulate("best", total)
+            return
+        bound = _lower_bound(inst, path, cost)
+        if bound >= self.read_monotonic("bound"):
+            return
+        if remaining <= grain:
+            # Sequential tail: solve this subtree inside one chare.
+            best, nodes = _solve_subtree(
+                inst, path, cost, self.read_monotonic("bound")
+            )
+            self.charge(NODE_WORK_PER_CITY * (remaining + 1) * nodes)
+            self.accumulate("nodes", nodes)
+            if best is not None:
+                self.update_monotonic("bound", best)
+                self.accumulate("best", best)
+            return
+        last = path[-1]
+        for city in range(n):
+            if city in path:
+                continue
+            child_cost = cost + inst.dist[last][city]
+            child = path + (city,)
+            child_bound = _lower_bound(inst, child, child_cost)
+            if child_bound >= self.read_monotonic("bound"):
+                self.accumulate("pruned", 1)
+                continue
+            self.create(TspNode, child, child_cost, priority=child_bound)
+
+
+class TspMain(Chare):
+    def __init__(self, inst, propagation, grain, bound_slack):
+        self.set_readonly("tsp_instance", inst)
+        self.set_readonly("tsp_grain", grain)
+        # bound_slack > 1 starts from a deliberately loose incumbent, so
+        # pruning power comes from *discovered* tours travelling through the
+        # monotonic variable — the T7 ablation's regime.
+        incumbent = int(_greedy_tour(inst) * bound_slack)
+        self.new_monotonic("bound", incumbent, "min", propagation)
+        self.new_accumulator("best", incumbent, "min")
+        self.new_accumulator("nodes", 0, "sum")
+        self.new_accumulator("pruned", 0, "sum")
+        self._got = {}
+        self.create(TspNode, (0,), 0, priority=0)
+        self.start_quiescence(self.thishandle, "quiet")
+
+    @entry
+    def quiet(self):
+        for name in ("best", "nodes", "pruned"):
+            self.collect_accumulator(name, self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, value):
+        self._got[tag.split(":")[1]] = value
+        if len(self._got) == 3:
+            self.exit((self._got["best"], self._got["nodes"], self._got["pruned"]))
+
+
+def run_tsp(
+    machine: Machine,
+    inst: Optional[TspInstance] = None,
+    n: int = 9,
+    *,
+    instance_seed: int = 0,
+    propagation: str = "eager",
+    grain: int = 4,
+    bound_slack: float = 1.0,
+    queueing: str = "prio",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[int, int, int], RunResult]:
+    """Run parallel TSP B&B.
+
+    Returns ``((best_cost, nodes_expanded, children_pruned), RunResult)``.
+    ``grain`` is the sequential-tail depth: subtrees with at most that many
+    unvisited cities are solved inside one chare.
+    """
+    if inst is None:
+        inst = TspInstance.random(n, instance_seed)
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(TspMain, inst, propagation, grain, bound_slack)
+    return result.result, result

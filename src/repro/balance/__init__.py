@@ -1,0 +1,48 @@
+"""Dynamic load-balancing strategies for chare seeds.
+
+When a chare is created without an explicit PE, its *seed* (creation
+message) is routed by the active strategy.  The SC'91 paper's experiments
+compare simple randomized placement against adaptive strategies; this
+package implements the family:
+
+* ``local``      — keep every seed where it was created (no balancing;
+  the degenerate baseline that shows why balancing matters),
+* ``random``     — uniform random placement at creation,
+* ``roundrobin`` — deterministic cyclic placement,
+* ``central``    — a manager PE assigns seeds to the least-loaded PE it
+  knows of (bottlenecks at scale),
+* ``token``      — receiver-initiated work stealing: idle PEs request
+  seeds from random victims,
+* ``acwn``       — Adaptive Contracting Within Neighborhood: seeds flow
+  to the least-loaded *neighbor* while the neighborhood is unsaturated and
+  contract (stay local) once it is; load knowledge comes only from
+  piggybacked message headers and idle hints (no oracle),
+* ``gradient``   — gradient-model balancing: idle PEs flood a bounded
+  proximity gradient and loaded PEs route seeds down it hop by hop.
+"""
+
+from repro.balance.base import Balancer
+from repro.balance.strategies import (
+    LocalBalancer,
+    RandomBalancer,
+    RoundRobinBalancer,
+    CentralBalancer,
+    TokenBalancer,
+    AcwnBalancer,
+    GradientBalancer,
+    BALANCERS,
+    make_balancer,
+)
+
+__all__ = [
+    "Balancer",
+    "LocalBalancer",
+    "RandomBalancer",
+    "RoundRobinBalancer",
+    "CentralBalancer",
+    "TokenBalancer",
+    "AcwnBalancer",
+    "GradientBalancer",
+    "BALANCERS",
+    "make_balancer",
+]

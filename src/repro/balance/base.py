@@ -1,0 +1,71 @@
+"""Balancer interface.
+
+A balancer is a runtime :class:`~repro.core.services.Service` with three
+hook points called synchronously by the kernel:
+
+* :meth:`on_new_seed` — a seed was just created on ``src_pe``; return the
+  PE to send it to (may be ``src_pe`` itself).
+* :meth:`on_seed_arrival` — a seed arrived at ``pe``; return a PE to
+  forward it to, or ``None`` to keep it (hop counts are on the envelope).
+* :meth:`on_idle` — ``pe`` ran out of work; the balancer may send control
+  messages (e.g. steal requests).
+
+Load knowledge must come only from :meth:`note_load` (piggybacked sender
+load on every delivered message) and from the balancer's own control
+traffic — strategies never read other PEs' queues directly, so the
+information structure matches a real distributed implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.messages import Envelope
+from repro.core.services import Service
+
+__all__ = ["Balancer"]
+
+
+class Balancer(Service):
+    """Base class: keep-local behavior, piggybacked load table, no control."""
+
+    name = "lb"
+    strategy_name = "local"
+
+    def bind(self, kernel) -> None:
+        super().bind(kernel)
+        self.rng = kernel.rng.child("lb")
+        # known[observer][subject] = last load value piggybacked to observer.
+        self.known: List[Dict[int, int]] = [dict() for _ in range(kernel.num_pes)]
+        self.seeds_placed_remote = 0
+        self.control_msgs = 0
+
+    # ------------------------------------------------------------------- hooks
+    def on_new_seed(self, src_pe: int, chare_cls: type) -> int:
+        """Choose the first destination for a fresh seed."""
+        return src_pe
+
+    def on_seed_arrival(self, pe: int, env: Envelope) -> Optional[int]:
+        """Forward an arriving seed (return target PE) or keep it (None)."""
+        return None
+
+    def on_idle(self, pe: int) -> None:
+        """React to a PE running dry."""
+
+    def note_load(self, observer: int, subject: int, load: int) -> None:
+        if observer != subject:
+            self.known[observer][subject] = load
+
+    # --------------------------------------------------------------- messaging
+    def handle(self, pe: int, op: str, args: tuple) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} received unexpected control op {op!r}"
+        )
+
+    # ----------------------------------------------------------------- helpers
+    def local_load(self, pe: int) -> int:
+        """A PE may always inspect its *own* queues."""
+        return self.kernel.pes[pe].load
+
+    def known_load(self, observer: int, subject: int, default: int = 0) -> int:
+        return self.known[observer].get(subject, default)

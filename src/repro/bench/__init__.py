@@ -1,0 +1,28 @@
+"""Experiment harness: PE sweeps, strategy sweeps, table formatting.
+
+The modules here regenerate the paper's tables and figures (see
+EXPERIMENTS.md).  ``python -m repro.bench --exp all`` prints everything;
+the files under ``benchmarks/`` drive the same registry via
+pytest-benchmark.
+"""
+
+from repro.bench.harness import (
+    APPS,
+    AppSpec,
+    measure,
+    speedup_sweep,
+    SweepResult,
+)
+from repro.bench.tables import format_table
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "measure",
+    "speedup_sweep",
+    "SweepResult",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]

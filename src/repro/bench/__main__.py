@@ -1,0 +1,73 @@
+"""CLI: ``python -m repro.bench --exp t2 [--scale quick]`` or ``--exp all``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables (T1-T9) and figures (F1-F3).",
+    )
+    parser.add_argument(
+        "--exp",
+        default="all",
+        help=f"experiment id or 'all'; options: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--scale",
+        default="paper",
+        choices=["paper", "quick"],
+        help="'paper' = full sizes, 'quick' = reduced CI sizes",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write one <id>.txt and <id>.json per experiment to DIR",
+    )
+    args = parser.parse_args(argv)
+    ids = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]
+    for exp_id in ids:
+        result = run_experiment(exp_id, scale=args.scale)
+        print(f"\n== {result.exp_id}: {result.title} ==")
+        print(result.text)
+        if args.output:
+            _write(args.output, result, args.scale)
+    return 0
+
+
+def _write(directory: str, result, scale: str) -> None:
+    import json
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, result.exp_id.lower())
+    with open(base + ".txt", "w", encoding="utf-8") as fh:
+        fh.write(f"== {result.exp_id}: {result.title} (scale={scale}) ==\n")
+        fh.write(result.text + "\n")
+    with open(base + ".json", "w", encoding="utf-8") as fh:
+        json.dump(
+            {"id": result.exp_id, "title": result.title, "scale": scale,
+             "data": _jsonable(result.data)},
+            fh, indent=2,
+        )
+
+
+def _jsonable(obj):
+    """Coerce experiment data to JSON-encodable structures."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(x) for x in obj]
+    if isinstance(obj, (int, float, str, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

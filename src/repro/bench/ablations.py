@@ -1,0 +1,221 @@
+"""Ablation experiments (A-series): the runtime's own design choices.
+
+Where T1–T9/F1–F3 reproduce the paper's evaluation, the A-series probes
+the design decisions DESIGN.md calls out, holding the application fixed
+and toggling one runtime mechanism:
+
+* **A1** — collective spanning tree: topology-oblivious rank tree vs
+  hypercube binomial tree (network load and completion time).
+* **A2** — monotonic ``lazy`` batching interval: pruning quality vs
+  propagation traffic as the batch window grows.
+* **A3** — quiescence wave interval: detection latency vs probe traffic.
+* **A4** — ACWN parameters: forwarding threshold and hop budget.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.apps.nqueens import NQueensMain
+from repro.apps.tree import TreeParams, TreeMain
+from repro.apps.tsp import TspInstance, TspMain, tsp_seq
+from repro.balance import make_balancer
+from repro.bench.tables import format_table
+from repro.core.kernel import Kernel
+from repro.machine.presets import make_machine
+
+__all__ = ["exp_a1", "exp_a2", "exp_a3", "exp_a4", "exp_a5"]
+
+
+def _result_cls():
+    from repro.bench.experiments import ExperimentResult
+
+    return ExperimentResult
+
+
+def exp_a1(scale: str = "paper"):
+    """Spanning-tree shape ablation on a hypercube."""
+    ExperimentResult = _result_cls()
+    pes = 16 if scale == "quick" else 64
+    params = (
+        TreeParams(seed=11, max_depth=10, max_fanout=5, branch_bias=0.96)
+        if scale == "quick"
+        else TreeParams(seed=7, max_depth=12, max_fanout=6, branch_bias=0.98)
+    )
+    headers = ["tree", "time (ms)", "msg hops", "bytes sent"]
+    rows = []
+    data: Dict[str, Any] = {}
+    answers = set()
+    for tree_name in ("rank", "binomial"):
+        kernel = Kernel(make_machine("ncube2", pes), balancer="acwn",
+                        spanning_tree=tree_name, seed=0)
+        res = kernel.run(TreeMain, params)
+        answers.add(res.result)
+        rows.append([tree_name, res.time * 1e3, kernel.total_message_hops,
+                     res.stats.total_bytes_sent])
+        data[tree_name] = {
+            "time": res.time,
+            "hops": kernel.total_message_hops,
+            "bytes": res.stats.total_bytes_sent,
+        }
+    assert len(answers) == 1
+    return ExperimentResult(
+        "A1",
+        "collective spanning tree: rank vs binomial",
+        format_table(headers, rows,
+                     title=f"Unbalanced tree on ncube2 hypercube, P={pes}"),
+        data,
+    )
+
+
+def exp_a2(scale: str = "paper"):
+    """Monotonic lazy-batching interval ablation (TSP bound sharing)."""
+    ExperimentResult = _result_cls()
+    pes = 8 if scale == "quick" else 16
+    n = 8 if scale == "quick" else 10
+    inst = TspInstance.random(n, 0)
+    best_ref, _ = tsp_seq(inst)
+    intervals = [0.05e-3, 0.2e-3, 1e-3, 5e-3]
+    headers = ["lazy interval (ms)", "nodes", "time (ms)", "bound msgs"]
+    rows = []
+    data: Dict[str, Any] = {}
+    for interval in intervals:
+        kernel = Kernel(make_machine("ipsc2", pes), queueing="fifo",
+                        lazy_interval=interval, seed=0)
+        res = kernel.run(TspMain, inst, "lazy", 2, 1.6)
+        best, nodes, _ = res.result
+        assert best == best_ref
+        rows.append([interval * 1e3, nodes, res.time * 1e3,
+                     res.stats.mono_updates_sent])
+        data[interval] = {
+            "nodes": nodes,
+            "time": res.time,
+            "msgs": res.stats.mono_updates_sent,
+        }
+    return ExperimentResult(
+        "A2",
+        "monotonic lazy-propagation batching interval",
+        format_table(headers, rows,
+                     title=f"TSP({n}) B&B, fifo queueing, loose incumbent, P={pes}"),
+        data,
+    )
+
+
+def exp_a3(scale: str = "paper"):
+    """Quiescence wave-interval ablation: latency vs probe traffic."""
+    ExperimentResult = _result_cls()
+    pes = 8 if scale == "quick" else 16
+    n = 7 if scale == "quick" else 8
+    intervals = [0.1e-3, 0.5e-3, 2e-3, 10e-3]
+    headers = ["qd interval (ms)", "waves", "system msgs",
+               "detect latency (ms)", "total time (ms)"]
+    rows = []
+    data: Dict[str, Any] = {}
+    for interval in intervals:
+        kernel = Kernel(make_machine("ipsc2", pes), qd_interval=interval, seed=0)
+        res = kernel.run(NQueensMain, n, 3, False)
+        latency = (kernel.qd.detected_at or res.time) - (
+            kernel.qd.work_end_at_detection or 0.0
+        )
+        rows.append([interval * 1e3, res.stats.qd_waves,
+                     res.stats.total_system_executed, latency * 1e3,
+                     res.time * 1e3])
+        data[interval] = {
+            "waves": res.stats.qd_waves,
+            "latency": latency,
+            "system": res.stats.total_system_executed,
+        }
+    return ExperimentResult(
+        "A3",
+        "quiescence wave interval: latency vs probe traffic",
+        format_table(headers, rows, title=f"N-queens({n}) on ipsc2, P={pes}"),
+        data,
+    )
+
+
+def exp_a5(scale: str = "paper"):
+    """Link-contention ablation: uncontended links vs per-link queuing.
+
+    All-to-all traffic (sample sort) suffers from link serialization far
+    more than nearest-neighbor traffic (jacobi) — the reason contention
+    modelling matters when comparing communication patterns.
+    """
+    ExperimentResult = _result_cls()
+    from repro.apps.jacobi import run_jacobi
+    from repro.apps.samplesort import run_samplesort
+
+    pes = 8 if scale == "quick" else 16
+    n_sort = 2048 if scale == "quick" else 8192
+    n_grid = 16 if scale == "quick" else 32
+    headers = ["app", "links", "time (ms)", "slowdown"]
+    rows = []
+    data: Dict[str, Any] = {}
+
+    def machines():
+        plain = make_machine("ipsc2", pes)
+        contended = make_machine("ipsc2", pes)
+        contended.params = contended.params.scaled(link_bandwidth=2.8e6)
+        return plain, contended
+
+    plain, contended = machines()
+    _, r0 = run_samplesort(plain, n=n_sort, workers=pes)
+    _, r1 = run_samplesort(contended, n=n_sort, workers=pes)
+    rows.append(["samplesort", "ideal", r0.time * 1e3, 1.0])
+    rows.append(["samplesort", "2.8MB/s", r1.time * 1e3,
+                 round(r1.time / r0.time, 2)])
+    data["samplesort"] = {"plain": r0.time, "contended": r1.time}
+
+    plain, contended = machines()
+    _, r0 = run_jacobi(plain, n=n_grid, blocks=4, iterations=8)
+    _, r1 = run_jacobi(contended, n=n_grid, blocks=4, iterations=8)
+    rows.append(["jacobi", "ideal", r0.time * 1e3, 1.0])
+    rows.append(["jacobi", "2.8MB/s", r1.time * 1e3,
+                 round(r1.time / r0.time, 2)])
+    data["jacobi"] = {"plain": r0.time, "contended": r1.time}
+
+    return ExperimentResult(
+        "A5",
+        "link contention: all-to-all vs nearest-neighbor",
+        format_table(headers, rows,
+                     title=f"ipsc2 hypercube P={pes}, per-link queuing"),
+        data,
+    )
+
+
+def exp_a4(scale: str = "paper"):
+    """ACWN parameter ablation: threshold and hop budget."""
+    ExperimentResult = _result_cls()
+    pes = 8 if scale == "quick" else 16
+    params = (
+        TreeParams(seed=11, max_depth=10, max_fanout=5, branch_bias=0.96)
+        if scale == "quick"
+        else TreeParams(seed=7, max_depth=12, max_fanout=6, branch_bias=0.98)
+    )
+    headers = ["threshold", "max hops", "time (ms)", "util %", "remote seeds"]
+    rows = []
+    data: Dict[str, Any] = {}
+    answers = set()
+    for threshold in (1, 2, 4, 8):
+        for max_hops in (1, 4):
+            balancer = make_balancer("acwn", threshold=threshold,
+                                     max_hops=max_hops)
+            kernel = Kernel(make_machine("ipsc2", pes), balancer=balancer,
+                            seed=0)
+            res = kernel.run(TreeMain, params)
+            answers.add(res.result)
+            rows.append([threshold, max_hops, res.time * 1e3,
+                         round(res.stats.mean_utilization * 100, 1),
+                         res.stats.lb_seeds_remote])
+            data[(threshold, max_hops)] = {
+                "time": res.time,
+                "util": res.stats.mean_utilization,
+                "remote": res.stats.lb_seeds_remote,
+            }
+    assert len(answers) == 1
+    return ExperimentResult(
+        "A4",
+        "ACWN threshold / hop-budget sweep",
+        format_table(headers, rows,
+                     title=f"Unbalanced tree on ipsc2, P={pes}"),
+        {str(k): v for k, v in data.items()},
+    )

@@ -1,0 +1,71 @@
+"""ASCII figure rendering for the F-series experiments.
+
+The paper's figures are speedup/efficiency curves; in a terminal-first
+reproduction they render as character plots.  :func:`render_chart` draws
+multiple series on one set of axes with automatic scaling and a legend —
+enough to *see* the crossovers the tables list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["render_chart"]
+
+_MARKS = "ox*+#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot named (x, y) series as an ASCII chart with a legend.
+
+    Points from different series landing on one cell show the later
+    series' mark.  Axes are linear and auto-scaled over all points.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(empty chart)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        cx = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return (height - 1 - cy), cx
+
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in pts:
+            r, c = cell(x, y)
+            grid[r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.6g}" + " " * max(1, width - 16) + f"{x_hi:>.6g}"
+    )
+    lines.append(f"  ({x_label} vs {y_label})")
+    for idx, name in enumerate(series):
+        lines.append(f"    {_MARKS[idx % len(_MARKS)]} {name}")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Measurement harness.
+
+Wraps the per-app ``run_*`` drivers behind a uniform registry so the
+experiment modules can sweep PEs, machines, balancers and queueing
+strategies without app-specific code.  All measurements are **virtual
+time** from the deterministic simulator; host time is recorded only as a
+diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import (
+    MdParams,
+    TreeParams,
+    run_md,
+    run_fib,
+    run_histogram,
+    run_jacobi,
+    run_lu,
+    run_knapsack,
+    run_matmul,
+    run_nqueens,
+    run_primes,
+    run_puzzle,
+    run_samplesort,
+    run_sor,
+    run_tree,
+    run_tsp,
+)
+from repro.core.kernel import RunResult
+from repro.machine.presets import make_machine
+from repro.util.errors import ConfigurationError
+
+__all__ = ["AppSpec", "APPS", "measure", "speedup_sweep", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark program plus its default 'paper scale' parameters."""
+
+    name: str
+    runner: Callable[..., Tuple[Any, RunResult]]
+    defaults: Dict[str, Any]
+    #: Which strategies make sense: apps with pinned placement ignore balancers.
+    uses_balancer: bool = True
+    #: Projection of the answer that must be invariant across P/strategies.
+    #: Speculative searches (B&B) legitimately expand different node counts
+    #: in different schedules; only the optimum is checked.
+    canon: Optional[Callable[[Any], Any]] = None
+
+
+APPS: Dict[str, AppSpec] = {
+    "queens": AppSpec("queens", run_nqueens, {"n": 8, "grainsize": 3}),
+    "fib": AppSpec("fib", run_fib, {"n": 18, "threshold": 9}),
+    "primes": AppSpec("primes", run_primes, {"limit": 6000, "chunks": 64}),
+    "tsp": AppSpec("tsp", run_tsp, {"n": 11, "grain": 5, "queueing": "prio"},
+                   canon=lambda a: a[0]),
+    "knapsack": AppSpec("knapsack", run_knapsack, {"n": 22, "grain": 11,
+                                                   "queueing": "prio"},
+                        canon=lambda a: a[0]),
+    "jacobi": AppSpec(
+        "jacobi", run_jacobi, {"n": 32, "blocks": 4, "iterations": 8},
+        uses_balancer=False,
+    ),
+    "matmul": AppSpec("matmul", run_matmul, {"n": 48, "g": 4}),
+    "tree": AppSpec(
+        "tree",
+        run_tree,
+        {"params": TreeParams(seed=7, max_depth=12, max_fanout=6,
+                              branch_bias=0.98, node_work=150.0)},
+    ),
+    "histogram": AppSpec("histogram", run_histogram, {"items": 256, "workers": 16}),
+    "puzzle": AppSpec(
+        "puzzle",
+        run_puzzle,
+        {"scramble": 50, "instance_seed": 3, "split": 8, "queueing": "prio"},
+        canon=lambda a: (a[0], a[1]),  # node counts vary with schedule
+    ),
+    "sor": AppSpec(
+        "sor", run_sor, {"n": 32, "blocks": 4, "tol": 1e-2, "max_iters": 200},
+        uses_balancer=False,
+    ),
+    "samplesort": AppSpec(
+        "samplesort", run_samplesort, {"n": 4096, "workers": 16},
+        canon=lambda a: ("ok",),  # validated in-app against numpy elsewhere
+    ),
+    "md": AppSpec(
+        "md",
+        run_md,
+        {"params": MdParams(cells=4, n_particles=64, steps=10, seed=1)},
+        uses_balancer=False,
+    ),
+    "lu": AppSpec("lu", run_lu, {"n": 64, "blocks": 16}, uses_balancer=False),
+}
+
+
+@dataclass
+class MeasureRow:
+    """One (app, machine, P, strategies) measurement."""
+
+    app: str
+    machine: str
+    num_pes: int
+    queueing: str
+    balancer: str
+    vtime: float
+    answer: Any
+    result: RunResult = field(repr=False)
+
+    @property
+    def vtime_ms(self) -> float:
+        return self.vtime * 1e3
+
+
+def measure(
+    app: str,
+    machine_name: str,
+    num_pes: int,
+    *,
+    queueing: Optional[str] = None,
+    balancer: str = "random",
+    seed: int = 0,
+    **overrides: Any,
+) -> MeasureRow:
+    """Run one configuration and return its measurement row."""
+    try:
+        spec = APPS[app]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown app {app!r}; options: {sorted(APPS)}"
+        ) from None
+    params = dict(spec.defaults)
+    params.update(overrides)
+    if queueing is not None:
+        params["queueing"] = queueing
+    params.setdefault("queueing", "fifo")
+    params.setdefault("balancer", balancer)
+    machine = make_machine(machine_name, num_pes)
+    answer, result = spec.runner(machine, seed=seed, **params)
+    return MeasureRow(
+        app=app,
+        machine=machine_name,
+        num_pes=num_pes,
+        queueing=params.get("queueing", "fifo"),
+        balancer=params.get("balancer", "-"),
+        vtime=result.time,
+        answer=answer,
+        result=result,
+    )
+
+
+@dataclass
+class SweepResult:
+    """A PE sweep of one app on one machine: the unit of a speedup table."""
+
+    app: str
+    machine: str
+    pes: List[int]
+    times: List[float]          # virtual seconds per P
+    answers: List[Any]
+    rows: List[MeasureRow]
+
+    @property
+    def t1(self) -> float:
+        return self.times[0]
+
+    @property
+    def speedups(self) -> List[float]:
+        return [self.t1 / t if t > 0 else float("nan") for t in self.times]
+
+    @property
+    def efficiencies(self) -> List[float]:
+        return [s / p for s, p in zip(self.speedups, self.pes)]
+
+    def consistent(self) -> bool:
+        """True if every P produced the same answer (determinism check)."""
+        import numpy as np
+
+        def canon(a):
+            if isinstance(a, tuple):
+                return tuple(canon(x) for x in a)
+            if isinstance(a, np.ndarray):
+                return a.tobytes()
+            return a
+
+        first = canon(self.answers[0])
+        return all(canon(a) == first for a in self.answers[1:])
+
+
+def speedup_sweep(
+    app: str,
+    machine_name: str,
+    pes: Sequence[int],
+    *,
+    queueing: Optional[str] = None,
+    balancer: str = "random",
+    seed: int = 0,
+    **overrides: Any,
+) -> SweepResult:
+    """Measure an app across PE counts; first entry is the T1 baseline.
+
+    Note: speedups for speculative-search apps (tsp, knapsack) compare the
+    *same-strategy* one-PE run, as the paper does — search anomalies (super-
+    or sub-linear speedup) are part of the phenomenon, not noise.
+    """
+    rows = [
+        measure(
+            app,
+            machine_name,
+            p,
+            queueing=queueing,
+            balancer=balancer,
+            seed=seed,
+            **overrides,
+        )
+        for p in pes
+    ]
+    canon = APPS[app].canon or (lambda a: a)
+    return SweepResult(
+        app=app,
+        machine=machine_name,
+        pes=list(pes),
+        times=[r.vtime for r in rows],
+        answers=[_strip_arrays(canon(r.answer)) for r in rows],
+        rows=rows,
+    )
+
+
+def _strip_arrays(answer: Any) -> Any:
+    """Keep answers comparable/storable (ndarray -> checksum)."""
+    import numpy as np
+
+    if isinstance(answer, tuple):
+        return tuple(_strip_arrays(a) for a in answer)
+    if isinstance(answer, np.ndarray):
+        return ("ndarray", answer.shape, float(np.sum(answer)))
+    return answer

@@ -1,0 +1,18 @@
+"""The Chare Kernel: message-driven objects on a simulated machine."""
+
+from repro.core.chare import BranchOfficeChare, Chare, entry
+from repro.core.handles import BocHandle, ChareHandle
+from repro.core.kernel import Kernel, RunResult
+from repro.core.messages import Envelope, Kind
+
+__all__ = [
+    "BranchOfficeChare",
+    "Chare",
+    "entry",
+    "BocHandle",
+    "ChareHandle",
+    "Kernel",
+    "RunResult",
+    "Envelope",
+    "Kind",
+]

@@ -1,0 +1,82 @@
+"""Direct (untimed) execution of chare programs.
+
+:class:`DirectRunner` runs a Chare Kernel program on the *ideal* machine
+with all cost modelling left in place but — unlike a normal run — it is a
+convenience wrapper meant for **functional validation at scale**: you get
+the program's answer and message counts quickly, with a single call, no
+machine choice, and a high default event budget.
+
+This mirrors how Chare Kernel programs were debugged on one workstation
+before moving to the parallel machine.  The full simulator semantics are
+preserved (message-driven order, balancer, quiescence), so a program that
+is wrong only under reordering still has a chance to fail here — for
+schedule-exploration use :func:`stress` which sweeps seeds and strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.presets import make_machine
+
+__all__ = ["DirectRunner", "stress"]
+
+
+class DirectRunner:
+    """One-call functional executor for chare programs."""
+
+    def __init__(self, num_pes: int = 4, *, seed: int = 0,
+                 queueing: str = "fifo", balancer: str = "random") -> None:
+        self.num_pes = num_pes
+        self.seed = seed
+        self.queueing = queueing
+        self.balancer = balancer
+
+    def run(self, main_cls: type, *args: Any,
+            max_events: Optional[int] = 100_000_000) -> RunResult:
+        """Run ``main_cls(*args)`` on an ideal machine; return the result."""
+        kernel = Kernel(
+            make_machine("ideal", self.num_pes),
+            queueing=self.queueing,
+            balancer=self.balancer,
+            seed=self.seed,
+        )
+        return kernel.run(main_cls, *args, max_events=max_events)
+
+    def __call__(self, main_cls: type, *args: Any) -> Any:
+        """Shorthand: run and return just the program's answer."""
+        return self.run(main_cls, *args).result
+
+
+def stress(
+    main_cls: type,
+    *args: Any,
+    num_pes: Iterable[int] = (1, 2, 4, 8),
+    seeds: Iterable[int] = (0, 1, 2),
+    queueings: Iterable[str] = ("fifo", "lifo"),
+    balancers: Iterable[str] = ("random", "acwn"),
+    max_events: Optional[int] = 100_000_000,
+) -> Tuple[List[Any], Dict[str, Any]]:
+    """Run a program across a schedule-exploration grid.
+
+    Returns ``(answers, detail)`` where ``answers`` is the deduplicated
+    list of distinct answers observed (a correct, schedule-independent
+    program yields exactly one) and ``detail`` maps each configuration to
+    its answer — the debugging breadcrumb when answers diverge.
+    """
+    detail: Dict[str, Any] = {}
+    answers: List[Any] = []
+    for p in num_pes:
+        for seed in seeds:
+            for queueing in queueings:
+                for balancer in balancers:
+                    runner = DirectRunner(
+                        p, seed=seed, queueing=queueing, balancer=balancer
+                    )
+                    result = runner.run(main_cls, *args, max_events=max_events)
+                    key = f"P={p} seed={seed} {queueing}/{balancer}"
+                    detail[key] = result.result
+                    if result.result not in answers:
+                        answers.append(result.result)
+    return answers, detail

@@ -1,0 +1,46 @@
+"""Chare and branch-office-chare handles.
+
+A :class:`ChareHandle` is the remote reference apps embed in messages so a
+child can reply to its parent, a neighbor can address a neighbor, etc.  It
+names a chare by a globally unique id; the runtime maintains the id → PE
+mapping once the chare is placed (seeds are placed by the load balancer, so
+placement may happen after the handle is minted — the kernel buffers sends
+to not-yet-placed handles).
+
+Handles are small immutable values; their wire size is fixed so the network
+cost model charges them like the packed ids a compiler would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ChareHandle", "BocHandle"]
+
+_HANDLE_WIRE_BYTES = 12
+
+
+@dataclass(frozen=True)
+class ChareHandle:
+    """Reference to a single chare instance (globally unique ``gid``)."""
+
+    gid: int
+
+    def __wire_size__(self) -> int:
+        return _HANDLE_WIRE_BYTES
+
+    def __repr__(self) -> str:
+        return f"ChareHandle({self.gid})"
+
+
+@dataclass(frozen=True)
+class BocHandle:
+    """Reference to a branch-office chare (one branch on every PE)."""
+
+    boc_id: int
+
+    def __wire_size__(self) -> int:
+        return _HANDLE_WIRE_BYTES
+
+    def __repr__(self) -> str:
+        return f"BocHandle({self.boc_id})"

@@ -1,0 +1,899 @@
+"""The Chare Kernel runtime.
+
+:class:`Kernel` binds a simulated :class:`~repro.machine.network.Machine`
+to the programming model: it owns the event engine, the per-PE schedulers,
+the chare/BOC tables, the load balancer, the quiescence detector, and the
+information-sharing service.  A program is run with::
+
+    from repro import Kernel, make_machine
+
+    kernel = Kernel(make_machine("ipsc2", 16), queueing="fifo",
+                    balancer="acwn", seed=1)
+    result = kernel.run(MainChare, arg1, arg2)
+    print(result.result, result.time, result.stats.summary())
+
+Execution model (normative — see DESIGN.md §5):
+
+* Each PE is idle or executing exactly one entry method; execution is
+  non-preemptive and message-driven.
+* An entry execution occupies its PE for
+  ``sched_overhead + recv_overhead + charged_units * work_unit_time``.
+* Messages sent during an entry depart at the virtual time accumulated at
+  the call site and arrive after the machine's transit time.
+* New-chare seeds without explicit placement are routed by the load
+  balancer, possibly over several forwarding hops.
+* Startup gate: application work queued on a PE is not served until the
+  init broadcast (read-only variables + shared-abstraction declarations)
+  reaches that PE.
+"""
+
+from __future__ import annotations
+
+import time as _host_time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.chare import BranchOfficeChare, Chare, is_entry
+from repro.core.handles import BocHandle, ChareHandle
+from repro.core.messages import Envelope, Kind
+from repro.core.pe import PEState
+from repro.core.services import Service
+from repro.core.tree import make_tree
+from repro.machine.network import Machine
+from repro.util.errors import (
+    ConfigurationError,
+    RoutingError,
+    SchedulingError,
+    SharingError,
+)
+from repro.util.priority import PriorityLike
+from repro.util.rng import RngStream
+
+__all__ = ["Kernel", "RunResult", "ExecContext"]
+
+#: Safety valve: a run firing more events than this is aborted as truncated.
+DEFAULT_MAX_EVENTS = 30_000_000
+
+
+class ExecContext:
+    """State of one in-progress entry-method execution."""
+
+    __slots__ = ("pe", "start", "charged", "outbox", "system")
+
+    def __init__(self, pe: int, start: float, system: bool) -> None:
+        self.pe = pe
+        self.start = start
+        self.charged = 0.0
+        # (charged_units_at_send, envelope) pairs; offsets resolved at end.
+        self.outbox: List[Tuple[float, Envelope]] = []
+        self.system = system
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Kernel.run`."""
+
+    result: Any
+    time: float                  # virtual seconds at completion
+    events: int                  # engine callbacks fired
+    truncated: bool              # hit max_events / until horizon
+    host_seconds: float          # wall-clock cost of the simulation itself
+    stats: Any = None            # TraceReport (repro.trace)
+    kernel: Any = field(default=None, repr=False)
+
+
+class Kernel:
+    """One runnable instance of the Chare Kernel on a simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        queueing: str = "fifo",
+        balancer: str | Any = "random",
+        seed: int = 0,
+        qd_interval: float = 1e-3,
+        lazy_interval: float = 0.5e-3,
+        strict_entries: bool = True,
+        spanning_tree: str = "auto",
+        timeline: bool = False,
+    ) -> None:
+        from repro.sim.engine import Engine  # local import: keep core light
+        from repro.balance import make_balancer
+        from repro.sharing.manager import SharingService
+        from repro.quiescence.detector import QuiescenceService
+
+        self.machine = machine
+        self.machine.reset()
+        self.params = machine.params
+        self.engine = Engine()
+        self.rng = RngStream(seed, "kernel")
+        self.seed = seed
+        self.queueing = queueing
+        self.strict_entries = strict_entries
+        self.qd_interval = qd_interval
+        self.lazy_interval = lazy_interval
+        # Runtime collective tree: binomial on hypercubes (every tree edge is
+        # one physical hop), binary rank tree elsewhere; override for the A1
+        # ablation.
+        self.tree = make_tree(spanning_tree, machine.num_pes,
+                              machine.topology.name)
+        from repro.trace.timeline import Timeline
+
+        self.timeline: Optional[Timeline] = Timeline() if timeline else None
+
+        self.pes: List[PEState] = [
+            PEState(i, strategy_name=queueing) for i in range(machine.num_pes)
+        ]
+        # Quiescence accounting (counted messages only).
+        self.counted_sent: List[int] = [0] * machine.num_pes
+        self.counted_processed: List[int] = [0] * machine.num_pes
+        # Network-load accounting: sum over messages of hop count — the
+        # link-occupancy metric the topology-aware collectives reduce (A1).
+        self.total_message_hops = 0
+
+        # Object tables -----------------------------------------------------
+        self.chares: Dict[int, Chare] = {}
+        self.destroyed: set = set()
+        self.placement: Dict[int, Optional[int]] = {}
+        self._next_gid = 0
+        self._pending_sends: Dict[int, List[Tuple[int, str, tuple, PriorityLike]]] = {}
+        self._premature: Dict[int, List[Envelope]] = {}
+
+        self.bocs: Dict[int, Dict[int, BranchOfficeChare]] = {}
+        self._next_boc = 0
+        self._boc_premature: Dict[Tuple[int, int], List[Envelope]] = {}
+        self._reductions: Dict[Tuple[int, str, int], dict] = {}
+
+        # Services ------------------------------------------------------------
+        self.services: Dict[str, Service] = {}
+        self.sharing = SharingService()
+        self.qd = QuiescenceService()
+        if isinstance(balancer, str):
+            self.balancer = make_balancer(balancer)
+        else:
+            self.balancer = balancer
+        for svc in (self.sharing, self.qd, self.balancer):
+            svc.bind(self)
+            self.services[svc.name] = svc
+
+        # Run state ------------------------------------------------------------
+        self._current: Optional[ExecContext] = None
+        #: Virtual time at which the last *counted* (application) message
+        #: finished executing — the true end of useful work, used to measure
+        #: quiescence-detection latency (experiment T9).
+        self.last_counted_exec_time = 0.0
+        self._exited = False
+        self._exit_requested = False
+        self._exit_result: Any = None
+        self._final_time: Optional[float] = None
+        self._in_main_ctor = False
+        self.main_handle: Optional[ChareHandle] = None
+        self.readonly_vars: Dict[str, Any] = {}
+        self.writeonce_vars: Dict[str, Any] = {}
+        self._writeonce_avail: Dict[Tuple[str, int], bool] = {}
+
+    # ====================================================================== run
+    @property
+    def num_pes(self) -> int:
+        return self.machine.num_pes
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def run(
+        self,
+        main_cls: type,
+        *args: Any,
+        max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+        until: Optional[float] = None,
+    ) -> RunResult:
+        """Execute a program from its main chare to completion.
+
+        Completion is the first of: the main chare calls :meth:`Chare.exit`,
+        the event heap drains, the optional virtual-time horizon ``until``
+        passes, or ``max_events`` engine callbacks have fired (the run is
+        then flagged ``truncated``).
+        """
+        if self.main_handle is not None:
+            raise SchedulingError("a Kernel instance can run only one program")
+        if not issubclass(main_cls, Chare):
+            raise ConfigurationError(f"{main_cls.__name__} is not a Chare subclass")
+
+        t0 = _host_time.perf_counter()
+        self.engine.schedule(0.0, lambda: self._bootstrap(main_cls, args))
+
+        truncated = False
+        fired = 0
+        while not self._exited:
+            if max_events is not None and fired >= max_events:
+                truncated = True
+                break
+            if until is not None and self.now >= until:
+                truncated = True
+                break
+            if not self.engine.step():
+                break
+            fired += 1
+
+        from repro.trace.report import TraceReport
+
+        if self._final_time is not None:
+            # Advance the clock to the end of the exiting execution so that
+            # reports and utilization use the true completion time.
+            self.engine.advance_to(self._final_time)
+        return RunResult(
+            result=self._exit_result,
+            time=self.now,
+            events=self.engine.events_fired,
+            truncated=truncated,
+            host_seconds=_host_time.perf_counter() - t0,
+            stats=TraceReport.from_kernel(self),
+            kernel=self,
+        )
+
+    def _bootstrap(self, main_cls: type, args: tuple) -> None:
+        """Construct the main chare on PE 0 and open the startup gates."""
+        gid = self._alloc_gid()
+        handle = ChareHandle(gid)
+        self.main_handle = handle
+        self.placement[gid] = 0
+        env = Envelope(
+            kind=Kind.SEED,
+            src_pe=0,
+            dst_pe=0,
+            entry="__init__",
+            args=args,
+            handle=handle,
+            chare_cls=main_cls,
+            fixed=True,
+            counted=False,
+        )
+        self._in_main_ctor = True
+        pe = self.pes[0]
+        pe.busy = True
+        self._execute(pe, env)
+        self._in_main_ctor = False
+        # Distribute init (read-only vars + declarations) down the rank tree.
+        # Gates open as it arrives; PE 0's opens via a local message.
+        init_payload = (dict(self.readonly_vars), self.sharing.declarations())
+        self.svc_send("share", 0, 0, "init", init_payload, counted=False)
+
+    # ============================================================== gid / utils
+    def _alloc_gid(self) -> int:
+        gid = self._next_gid
+        self._next_gid += 1
+        return gid
+
+    @property
+    def current(self) -> ExecContext:
+        if self._current is None:
+            raise SchedulingError(
+                "chare API used outside an entry-method execution"
+            )
+        return self._current
+
+    def pe_load(self, pe: int) -> int:
+        """Instantaneous load metric of a PE (used via piggybacking only)."""
+        return self.pes[pe].load
+
+    # ================================================================= delivery
+    def _deliver(self, env: Envelope, departure: float) -> None:
+        """Hand an envelope to the network; schedule its arrival."""
+        src = self.pes[env.src_pe]
+        env.carried_load = src.load
+        src.msgs_sent += 1
+        src.bytes_sent += env.nbytes
+        self.total_message_hops += self.machine.topology.hops(env.src_pe, env.dst_pe)
+        if env.counted and not env.suppress_sent_count:
+            self.counted_sent[env.src_pe] += 1
+        transit = self.machine.transit_time(
+            env.src_pe, env.dst_pe, env.nbytes, departure
+        )
+        self.engine.schedule(departure + transit, lambda: self._arrive(env))
+
+    def _arrive(self, env: Envelope) -> None:
+        """An envelope reached its destination PE's pool."""
+        pe = self.pes[env.dst_pe]
+        self.balancer.note_load(env.dst_pe, env.src_pe, env.carried_load)
+        if env.kind == Kind.SEED and not env.fixed:
+            fwd = self.balancer.on_seed_arrival(env.dst_pe, env)
+            if fwd is not None and fwd != env.dst_pe:
+                pe.seeds_forwarded_in += 1
+                self._deliver(env.forwarded(fwd), self.now + self.params.recv_overhead)
+                return
+            # NOTE: placement is recorded at *construction*, not here, so a
+            # work-stealing balancer may still extract the queued seed.
+        pe.enqueue(env)
+        if not pe.busy:
+            self._start_service(pe)
+
+    def _place(self, gid: int, pe: int) -> None:
+        """Fix a chare's location; flush sends buffered against its handle."""
+        self.placement[gid] = pe
+        pending = self._pending_sends.pop(gid, None)
+        if pending:
+            for src_pe, entry_name, args, priority in pending:
+                out = Envelope(
+                    kind=Kind.APP,
+                    src_pe=src_pe,
+                    dst_pe=pe,
+                    entry=entry_name,
+                    args=args,
+                    handle=ChareHandle(gid),
+                    priority=priority,
+                )
+                self._deliver(out, self.now)
+
+    # ================================================================ scheduler
+    def _start_service(self, pe: PEState) -> None:
+        """If idle, pick the next message and execute it."""
+        if self._exited or pe.busy:
+            return
+        while True:
+            env = pe.next_envelope()
+            if env is None:
+                if not pe.gated and not pe.has_work() and not pe.idle_notified:
+                    pe.idle_notified = True
+                    self.balancer.on_idle(pe.index)
+                return
+            if env.kind == Kind.APP and env.handle.gid in self.destroyed:
+                raise RoutingError(
+                    f"message {env.entry!r} to destroyed chare {env.handle}"
+                )
+            if env.kind == Kind.APP and env.handle.gid not in self.chares:
+                # Arrived before its target was constructed; hold until then.
+                self._premature.setdefault(env.handle.gid, []).append(env)
+                continue
+            if env.kind == Kind.BOC and env.dst_pe not in self.bocs.get(
+                env.boc.boc_id, {}
+            ):
+                self._boc_premature.setdefault(
+                    (env.boc.boc_id, env.dst_pe), []
+                ).append(env)
+                continue
+            break
+        pe.busy = True
+        self._execute(pe, env)
+
+    def _execute(self, pe: PEState, env: Envelope) -> None:
+        """Run one entry method; occupy the PE; emit its sends."""
+        ctx = ExecContext(pe.index, self.now, env.system or env.kind == Kind.SVC)
+        self._current = ctx
+        try:
+            self._dispatch(pe, env)
+        finally:
+            self._current = None
+        p = self.params
+        duration = p.sched_overhead + p.recv_overhead + self.machine.compute_time(
+            ctx.charged, pe.index
+        )
+        pe.busy_time += duration
+        pe.charged_units += ctx.charged
+        if env.kind == Kind.SVC or env.system:
+            pe.system_executed += 1
+        elif env.kind == Kind.SEED:
+            pe.seeds_executed += 1
+            pe.idle_notified = False
+        else:
+            pe.msgs_executed += 1
+            pe.idle_notified = False
+        if env.counted:
+            self.counted_processed[pe.index] += 1
+            self.last_counted_exec_time = ctx.start + duration
+        if self.timeline is not None:
+            self.timeline.record(pe.index, ctx.start, duration, env)
+        base = p.sched_overhead + p.recv_overhead
+        for charged_at_send, out in ctx.outbox:
+            offset = base + self.machine.compute_time(charged_at_send, pe.index)
+            self._deliver(out, ctx.start + min(offset, duration))
+        pe.busy_until = ctx.start + duration
+        if self._exit_requested and not self._exited:
+            self._exited = True
+            self._final_time = pe.busy_until
+            return
+        self.engine.schedule(pe.busy_until, lambda: self._finish(pe))
+
+    def _dispatch(self, pe: PEState, env: Envelope) -> None:
+        """Route an envelope to its handler (chare entry, BOC entry, service)."""
+        if env.kind == Kind.SEED:
+            self._construct_chare(pe, env)
+        elif env.kind == Kind.APP:
+            chare = self.chares.get(env.handle.gid)
+            if chare is None:
+                raise RoutingError(f"message to unknown chare {env.handle}")
+            self._invoke(chare, env.entry, env.args)
+        elif env.kind == Kind.BOC:
+            branch = self.bocs[env.boc.boc_id].get(env.dst_pe)
+            if branch is None:
+                raise RoutingError(
+                    f"message to missing branch {env.boc} on PE {env.dst_pe}"
+                )
+            self._invoke(branch, env.entry, env.args)
+        elif env.kind == Kind.SVC:
+            self.services[env.service].handle(env.dst_pe, env.entry, env.args)
+        else:  # pragma: no cover - exhaustive
+            raise RoutingError(f"unknown envelope kind {env.kind}")
+
+    def _invoke(self, obj: Chare, entry_name: str, args: tuple) -> None:
+        method = getattr(obj, entry_name, None)
+        if method is None:
+            raise RoutingError(
+                f"{type(obj).__name__} has no entry {entry_name!r}"
+            )
+        if self.strict_entries and not is_entry(method):
+            raise RoutingError(
+                f"{type(obj).__name__}.{entry_name} is not marked @entry"
+            )
+        method(*args)
+
+    def _construct_chare(self, pe: PEState, env: Envelope) -> None:
+        gid = env.handle.gid
+        if self.placement.get(gid) is None:
+            self._place(gid, pe.index)
+        obj = env.chare_cls.__new__(env.chare_cls)
+        obj._kernel = self
+        obj._handle = env.handle
+        obj._pe = pe.index
+        self.chares[gid] = obj
+        obj.__init__(*env.args)
+        # Anything that raced ahead of construction is now runnable.
+        for held in self._premature.pop(gid, ()):  # already paid transit
+            pe.enqueue(held)
+
+    def _finish(self, pe: PEState) -> None:
+        pe.busy = False
+        if not self._exited:
+            self._start_service(pe)
+
+    # ================================================================== chare API
+    def api_charge(self, units: float) -> None:
+        if units < 0:
+            raise ConfigurationError("cannot charge negative work")
+        self.current.charged += units
+
+    def api_send(
+        self,
+        target: ChareHandle,
+        entry_name: str,
+        args: tuple,
+        priority: PriorityLike,
+    ) -> None:
+        ctx = self.current
+        dst = self.placement.get(target.gid, "missing")
+        if dst == "missing":
+            raise RoutingError(f"send to unknown handle {target}")
+        if dst is None:
+            # Seed still being balanced: buffer; flushed (and counted) at
+            # placement time.  Quiescence stays safe meanwhile because the
+            # seed itself is in flight (sent > processed).
+            self._pending_sends.setdefault(target.gid, []).append(
+                (ctx.pe, entry_name, args, priority)
+            )
+            return
+        env = Envelope(
+            kind=Kind.APP,
+            src_pe=ctx.pe,
+            dst_pe=dst,
+            entry=entry_name,
+            args=args,
+            handle=target,
+            priority=priority,
+        )
+        ctx.outbox.append((ctx.charged, env))
+
+    def api_create(
+        self,
+        chare_cls: type,
+        args: tuple,
+        pe: Optional[int],
+        priority: PriorityLike,
+    ) -> ChareHandle:
+        if not issubclass(chare_cls, Chare):
+            raise ConfigurationError(f"{chare_cls.__name__} is not a Chare subclass")
+        if issubclass(chare_cls, BranchOfficeChare):
+            raise ConfigurationError("use create_boc for branch-office chares")
+        ctx = self.current
+        gid = self._alloc_gid()
+        handle = ChareHandle(gid)
+        src = ctx.pe
+        self.pes[src].seeds_created += 1
+        if pe is not None:
+            if not 0 <= pe < self.num_pes:
+                raise RoutingError(f"create on invalid PE {pe}")
+            self.placement[gid] = pe
+            env = Envelope(
+                kind=Kind.SEED,
+                src_pe=src,
+                dst_pe=pe,
+                entry="__init__",
+                args=args,
+                handle=handle,
+                chare_cls=chare_cls,
+                fixed=True,
+                priority=priority,
+            )
+        else:
+            self.placement[gid] = None
+            target = self.balancer.on_new_seed(src, chare_cls)
+            env = Envelope(
+                kind=Kind.SEED,
+                src_pe=src,
+                dst_pe=target,
+                entry="__init__",
+                args=args,
+                handle=handle,
+                chare_cls=chare_cls,
+                priority=priority,
+            )
+        ctx.outbox.append((ctx.charged, env))
+        return handle
+
+    def api_destroy(self, handle: ChareHandle) -> None:
+        """Destroy a chare (it must live on the calling PE).
+
+        Mirrors C++ ``delete this`` / deleting a co-located object in the
+        paper's model: destruction is immediate and local; any message that
+        subsequently reaches the dead chare is a program error.
+        """
+        ctx = self.current
+        gid = handle.gid
+        obj = self.chares.get(gid)
+        if obj is None:
+            raise RoutingError(f"destroy of unknown or unbuilt chare {handle}")
+        if obj._pe != ctx.pe:
+            raise RoutingError(
+                f"destroy of {handle} must run on its home PE {obj._pe}, "
+                f"not PE {ctx.pe}"
+            )
+        del self.chares[gid]
+        self.destroyed.add(gid)
+
+    def api_exit(self, result: Any) -> None:
+        # The run ends when the *exiting execution* completes, so the final
+        # virtual time includes the work charged by the exiting entry.
+        self._exit_requested = True
+        self._exit_result = result
+
+    # ----------------------------------------------------------------- BOC API
+    def api_create_boc(self, boc_cls: type, args: tuple) -> BocHandle:
+        if not issubclass(boc_cls, BranchOfficeChare):
+            raise ConfigurationError(
+                f"{boc_cls.__name__} is not a BranchOfficeChare subclass"
+            )
+        ctx = self.current
+        boc_id = self._next_boc
+        self._next_boc += 1
+        self.bocs[boc_id] = {}
+        # Replicate via the spanning tree: construction cost is real messages.
+        self.svc_send(
+            "share", ctx.pe, 0, "boc_create", (boc_id, boc_cls, args), counted=True
+        )
+        return BocHandle(boc_id)
+
+    def construct_branch(
+        self, boc_id: int, boc_cls: type, args: tuple, pe: int
+    ) -> None:
+        """Instantiate one branch (called by the sharing service handler)."""
+        obj = boc_cls.__new__(boc_cls)
+        obj._kernel = self
+        obj._handle = ChareHandle(-1 - boc_id)  # branches are not chare-addressable
+        obj._pe = pe
+        obj._boc = BocHandle(boc_id)
+        self.bocs[boc_id][pe] = obj
+        obj.__init__(*args)
+        for held in self._boc_premature.pop((boc_id, pe), ()):
+            self.pes[pe].enqueue(held)
+
+    def api_send_branch(
+        self,
+        boc: BocHandle,
+        pe: int,
+        entry_name: str,
+        args: tuple,
+        priority: PriorityLike,
+    ) -> None:
+        ctx = self.current
+        if not 0 <= pe < self.num_pes:
+            raise RoutingError(f"branch send to invalid PE {pe}")
+        env = Envelope(
+            kind=Kind.BOC,
+            src_pe=ctx.pe,
+            dst_pe=pe,
+            entry=entry_name,
+            args=args,
+            boc=boc,
+            priority=priority,
+        )
+        ctx.outbox.append((ctx.charged, env))
+
+    def api_boc_broadcast(self, boc: BocHandle, entry_name: str, args: tuple) -> None:
+        ctx = self.current
+        self.svc_send(
+            "share",
+            ctx.pe,
+            0,
+            "boc_bcast",
+            (boc.boc_id, entry_name, args),
+            counted=True,
+        )
+
+    def api_local_branch(self, boc: BocHandle) -> BranchOfficeChare:
+        ctx = self.current
+        branch = self.bocs.get(boc.boc_id, {}).get(ctx.pe)
+        if branch is None:
+            raise RoutingError(
+                f"no local branch of {boc} on PE {ctx.pe} (not yet constructed?)"
+            )
+        return branch
+
+    def deliver_local_boc(
+        self, boc_id: int, pe: int, entry_name: str, args: tuple
+    ) -> None:
+        """Queue a local BOC invocation (used by broadcast fan-out)."""
+        env = Envelope(
+            kind=Kind.BOC,
+            src_pe=pe,
+            dst_pe=pe,
+            entry=entry_name,
+            args=args,
+            boc=BocHandle(boc_id),
+        )
+        self.current.outbox.append((self.current.charged, env))
+
+    # -------------------------------------------------------------- reductions
+    def api_contribute(
+        self,
+        boc: BocHandle,
+        tag: str,
+        value: Any,
+        op: str | Callable[[Any, Any], Any],
+        target: ChareHandle,
+        entry_name: str,
+    ) -> None:
+        ctx = self.current
+        self._reduce_fold(boc.boc_id, tag, ctx.pe, value, op, target, entry_name,
+                          own=True)
+
+    def api_barrier(self, boc: BocHandle, tag: str, entry_name: str) -> None:
+        """Join a barrier over all branches of ``boc``.
+
+        When every branch has called ``barrier(tag, entry)``, the runtime
+        broadcasts ``entry_name(tag, num_pes)`` to every branch — the
+        compiler-supported synchronization point the paper suggests for
+        arrays of cooperating processes.
+        """
+        ctx = self.current
+        self._reduce_fold(boc.boc_id, tag, ctx.pe, 1, "sum", None, entry_name,
+                          own=True, mode="barrier")
+
+    def _red_state(self, boc_id: int, tag: str, pe: int) -> dict:
+        key = (boc_id, tag, pe)
+        st = self._reductions.get(key)
+        if st is None:
+            st = {
+                "value": None,
+                "have": 0,
+                "need": 1 + len(self.tree.children(pe)),
+                "op": None,
+                "target": None,
+                "entry": None,
+                "mode": "deliver",
+            }
+            self._reductions[key] = st
+        return st
+
+    def _reduce_fold(
+        self,
+        boc_id: int,
+        tag: str,
+        pe: int,
+        value: Any,
+        op,
+        target: Optional[ChareHandle],
+        entry_name: str,
+        own: bool,
+        mode: str = "deliver",
+    ) -> None:
+        from repro.sharing.ops import combine  # avoid import cycle at module load
+
+        st = self._red_state(boc_id, tag, pe)
+        if op is not None:
+            st["op"] = op
+        if target is not None:
+            st["target"] = target
+        if entry_name:
+            st["entry"] = entry_name
+        if mode != "deliver":
+            st["mode"] = mode
+        st["value"] = value if st["have"] == 0 else combine(st["op"], st["value"], value)
+        st["have"] += 1
+        if st["have"] < st["need"]:
+            return
+        # Subtree complete: push up, or complete at the root.
+        del self._reductions[(boc_id, tag, pe)]
+        parent = self.tree.parent(pe)
+        if parent is not None:
+            self.svc_send(
+                "share",
+                pe,
+                parent,
+                "red_up",
+                (boc_id, tag, st["value"], st["op"], st["target"], st["entry"],
+                 st["mode"]),
+                counted=True,
+            )
+            return
+        if st["mode"] == "barrier":
+            # Release: every branch gets entry(tag, count) via the tree.
+            self.svc_send(
+                "share", pe, 0, "boc_bcast",
+                (boc_id, st["entry"], (tag, st["value"])), counted=True,
+            )
+            return
+        env = Envelope(
+            kind=Kind.APP,
+            src_pe=pe,
+            dst_pe=self._require_placed(st["target"]),
+            entry=st["entry"],
+            args=(tag, st["value"]),
+            handle=st["target"],
+        )
+        self.current.outbox.append((self.current.charged, env))
+
+    def _require_placed(self, handle: ChareHandle) -> int:
+        dst = self.placement.get(handle.gid)
+        if dst is None:
+            raise RoutingError(f"reduction target {handle} not placed yet")
+        return dst
+
+    # ------------------------------------------------------------- service send
+    def svc_send(
+        self,
+        service: str,
+        src_pe: int,
+        dst_pe: int,
+        op: str,
+        args: tuple,
+        counted: bool = False,
+    ) -> None:
+        """Send a runtime-service message (system lane on arrival)."""
+        env = Envelope(
+            kind=Kind.SVC,
+            src_pe=src_pe,
+            dst_pe=dst_pe,
+            entry=op,
+            args=args,
+            service=service,
+            system=True,
+            counted=counted,
+        )
+        ctx = self._current
+        if ctx is not None and ctx.pe == src_pe:
+            ctx.outbox.append((ctx.charged, env))
+        else:
+            self._deliver(env, self.now)
+
+    # ------------------------------------------------------------ sharing API
+    # Thin delegation: all logic lives in repro.sharing.manager.
+    def api_set_readonly(self, name: str, value: Any) -> None:
+        if not self._in_main_ctor:
+            raise SharingError("read-only variables must be set in the main "
+                               "chare's constructor")
+        if name in self.readonly_vars:
+            raise SharingError(f"read-only variable {name!r} already set")
+        self.readonly_vars[name] = value
+
+    def api_readonly(self, name: str, pe: int) -> Any:
+        if name not in self.readonly_vars:
+            raise SharingError(f"unknown read-only variable {name!r}")
+        return self.readonly_vars[name]
+
+    def api_write_once(self, name: str, value: Any) -> None:
+        ctx = self.current
+        if name in self.writeonce_vars:
+            raise SharingError(f"write-once variable {name!r} written twice")
+        self.writeonce_vars[name] = value
+        self._writeonce_avail[(name, ctx.pe)] = True
+        self.svc_send("share", ctx.pe, 0, "wonce_bcast", (name, value), counted=True)
+
+    def api_get_writeonce(self, name: str, pe: int) -> Any:
+        if not self._writeonce_avail.get((name, pe)):
+            raise SharingError(
+                f"write-once variable {name!r} not yet replicated to PE {pe}"
+            )
+        return self.writeonce_vars[name]
+
+    def api_new_accumulator(self, name: str, initial: Any, op) -> None:
+        self._require_main_ctor("accumulators")
+        self.sharing.declare_accumulator(name, initial, op)
+
+    def api_accumulate(self, name: str, value: Any, pe: int) -> None:
+        self.sharing.accumulate(name, value, pe)
+
+    def api_collect_accumulator(
+        self, name: str, target: ChareHandle, entry_name: str
+    ) -> None:
+        self.sharing.collect_accumulator(name, target, entry_name, self.current.pe)
+
+    def api_new_monotonic(self, name: str, initial: Any, better, propagation: str) -> None:
+        self._require_main_ctor("monotonic variables")
+        self.sharing.declare_monotonic(name, initial, better, propagation)
+
+    def api_update_monotonic(self, name: str, value: Any, pe: int) -> None:
+        self.sharing.update_monotonic(name, value, pe)
+
+    def api_read_monotonic(self, name: str, pe: int) -> Any:
+        return self.sharing.read_monotonic(name, pe)
+
+    def api_new_table(self, name: str) -> None:
+        self._require_main_ctor("distributed tables")
+        self.sharing.declare_table(name)
+
+    def api_table_insert(
+        self,
+        table: str,
+        key: Any,
+        value: Any,
+        reply_to: Optional[ChareHandle],
+        reply_entry: str,
+    ) -> None:
+        self.sharing.table_insert(
+            table, key, value, reply_to, reply_entry, self.current.pe
+        )
+
+    def api_table_find(
+        self, table: str, key: Any, reply_to: ChareHandle, reply_entry: str
+    ) -> None:
+        self.sharing.table_find(table, key, reply_to, reply_entry, self.current.pe)
+
+    def api_table_delete(self, table: str, key: Any) -> None:
+        self.sharing.table_delete(table, key, self.current.pe)
+
+    def _require_main_ctor(self, what: str) -> None:
+        if not self._in_main_ctor:
+            raise SharingError(
+                f"{what} must be declared in the main chare's constructor"
+            )
+
+    # --------------------------------------------------------------- quiescence
+    def api_start_quiescence(self, target: ChareHandle, entry_name: str) -> None:
+        self.qd.start(target, entry_name, self.current.pe)
+
+    # -------------------------------------------------------------- gate control
+    def open_gate(self, pe: int) -> None:
+        """Called by the sharing service when the init broadcast lands."""
+        state = self.pes[pe]
+        state.gated = False
+        # Work may already be queued behind the gate; it becomes servable as
+        # soon as the current (system) execution finishes — _finish handles it.
+
+    # ------------------------------------------------------------------ app send
+    def send_app_from_service(
+        self,
+        src_pe: int,
+        target: ChareHandle,
+        entry_name: str,
+        args: tuple,
+    ) -> None:
+        """Service helper: deliver an application message to a chare handle."""
+        dst = self.placement.get(target.gid)
+        if dst is None:
+            self._pending_sends.setdefault(target.gid, []).append(
+                (src_pe, entry_name, args, None)
+            )
+            return
+        env = Envelope(
+            kind=Kind.APP,
+            src_pe=src_pe,
+            dst_pe=dst,
+            entry=entry_name,
+            args=args,
+            handle=target,
+        )
+        ctx = self._current
+        if ctx is not None and ctx.pe == src_pe:
+            ctx.outbox.append((ctx.charged, env))
+        else:
+            self._deliver(env, self.now)

@@ -1,0 +1,113 @@
+"""Message envelopes.
+
+Every interaction in the Chare Kernel is a message.  The runtime uses one
+envelope type with a ``kind`` discriminator:
+
+* ``APP``  — message to an existing chare's entry method,
+* ``SEED`` — a new-chare creation request, routed by the load balancer,
+* ``BOC``  — message to one branch of a branch-office chare,
+* ``SVC``  — internal runtime service traffic (quiescence waves, load
+  balance control, sharing-abstraction ops).
+
+``counted`` says whether the quiescence detector includes the message in
+its sent/processed accounting: application-visible traffic is counted,
+runtime control traffic (QD waves, load-balancer control) is not, matching
+the paper's system design where quiescence means "no user computation and
+no user messages in flight".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+from repro.core.handles import BocHandle, ChareHandle
+from repro.util.priority import PriorityLike
+from repro.util.sizing import payload_nbytes
+
+__all__ = ["Kind", "Envelope", "HEADER_BYTES"]
+
+HEADER_BYTES = 32
+
+_envelope_ids = itertools.count(1)
+
+
+class Kind:
+    """Envelope kind tags (class-as-namespace; values are small ints)."""
+
+    APP = 0
+    SEED = 1
+    BOC = 2
+    SVC = 3
+
+    NAMES = {APP: "app", SEED: "seed", BOC: "boc", SVC: "svc"}
+
+
+@dataclass
+class Envelope:
+    """One message in flight (or queued in a PE's pool)."""
+
+    kind: int
+    src_pe: int
+    dst_pe: int
+    entry: str
+    args: Tuple[Any, ...] = ()
+    # APP: destination chare; SEED: the handle the new chare will own.
+    handle: Optional[ChareHandle] = None
+    # SEED: class of the chare to construct, and hops taken so far.
+    chare_cls: Optional[type] = None
+    hops: int = 0
+    # BOC: which branch-office chare.
+    boc: Optional[BocHandle] = None
+    # SVC: which runtime service ("qd", "share", "lb").
+    service: Optional[str] = None
+    priority: PriorityLike = None
+    system: bool = False
+    counted: bool = True
+    # SEED with fixed placement (explicit pe=) — balancer hooks are skipped.
+    fixed: bool = False
+    # Set on forwarded seed legs so the quiescence counter counts the seed's
+    # send exactly once (at creation), however many hops it takes.
+    suppress_sent_count: bool = False
+    # Piggybacked sender load (application-lane queue length at send time);
+    # receivers feed this to the load balancer's neighbor-load table.
+    carried_load: int = 0
+    uid: int = field(default_factory=lambda: next(_envelope_ids))
+    _size: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: header + payload (+ class name for seeds)."""
+        if self._size is None:
+            size = HEADER_BYTES + payload_nbytes(self.args)
+            if self.kind == Kind.SEED and self.chare_cls is not None:
+                size += len(self.chare_cls.__name__)
+            self._size = size
+        return self._size
+
+    def forwarded(self, new_dst: int) -> "Envelope":
+        """A copy of a seed envelope re-routed to ``new_dst`` (one more hop)."""
+        return replace(
+            self,
+            src_pe=self.dst_pe,
+            dst_pe=new_dst,
+            hops=self.hops + 1,
+            suppress_sent_count=True,
+            uid=next(_envelope_ids),
+            _size=self._size,
+        )
+
+    def kind_name(self) -> str:
+        return Kind.NAMES.get(self.kind, "?")
+
+    def __repr__(self) -> str:
+        target = (
+            self.handle
+            if self.kind in (Kind.APP, Kind.SEED)
+            else (self.boc if self.kind == Kind.BOC else self.service)
+        )
+        return (
+            f"Envelope({self.kind_name()}, {self.src_pe}->{self.dst_pe}, "
+            f"{target}, entry={self.entry!r})"
+        )

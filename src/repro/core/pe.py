@@ -1,0 +1,107 @@
+"""Per-processing-element scheduler state.
+
+A PE is either idle or executing exactly one entry method (message-driven,
+non-preemptive).  Its work sits in three queues, drained in this order:
+
+1. the **system lane** (runtime control traffic — always FIFO),
+2. the **message pool** (messages to existing chares/BOC branches, ordered
+   by the configured queueing strategy),
+3. the **seed pool** (new-chare seeds, same strategy class) — kept separate
+   so work-stealing balancers can extract seeds without disturbing
+   in-progress conversations.
+
+The PE also carries its trace counters; :mod:`repro.trace` aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.messages import Envelope, Kind
+from repro.queueing.strategies import MessagePool, QueueStrategy, make_strategy
+
+__all__ = ["PEState"]
+
+
+@dataclass
+class PEState:
+    """All mutable state of one simulated processor."""
+
+    index: int
+    strategy_name: str = "fifo"
+
+    busy: bool = False
+    busy_until: float = 0.0
+    # Startup gate: until the init broadcast arrives (replicating read-only
+    # variables and shared-abstraction declarations), a PE services only its
+    # system lane.  This reproduces the Chare Kernel's startup phase.
+    gated: bool = True
+    # One balancer idle notification per burst of real work: set when the
+    # balancer has been told this PE is idle, cleared when it next executes
+    # application work.  Without this, idle-control messages (hints, steal
+    # probes) re-trigger on_idle and the control traffic feeds itself.
+    idle_notified: bool = False
+
+    # Trace counters ------------------------------------------------------
+    busy_time: float = 0.0
+    msgs_executed: int = 0
+    seeds_executed: int = 0
+    system_executed: int = 0
+    msgs_sent: int = 0
+    bytes_sent: int = 0
+    seeds_created: int = 0
+    seeds_forwarded_in: int = 0   # seeds that arrived and were pushed on
+    charged_units: float = 0.0
+    steal_attempts: int = 0
+    steals_satisfied: int = 0
+    max_queued: int = 0   # high-water mark over both app lanes + seeds
+
+    def __post_init__(self) -> None:
+        self.msg_pool = MessagePool(make_strategy(self.strategy_name))
+        self.seed_pool: QueueStrategy = make_strategy(self.strategy_name)
+
+    # ------------------------------------------------------------------ queues
+    def enqueue(self, env: Envelope) -> None:
+        """Queue an arrived envelope in the right lane."""
+        if env.kind == Kind.SEED:
+            self.seed_pool.push(env, env.priority)
+        elif env.system or env.kind == Kind.SVC:
+            self.msg_pool.push(env, env.priority, system=True)
+        else:
+            self.msg_pool.push(env, env.priority)
+        queued = self.queued
+        if queued > self.max_queued:
+            self.max_queued = queued
+
+    def next_envelope(self) -> Optional[Envelope]:
+        """Pop the next envelope per the service order, or None if drained.
+
+        While gated, only system-lane traffic is served.
+        """
+        if self.gated:
+            return self.msg_pool.pop_system()
+        if self.msg_pool:
+            return self.msg_pool.pop()
+        if self.seed_pool:
+            return self.seed_pool.pop()
+        return None
+
+    def steal_seed(self) -> Optional[Envelope]:
+        """Remove one seed for a work-stealing balancer (best-first)."""
+        if self.seed_pool:
+            return self.seed_pool.pop()
+        return None
+
+    # ------------------------------------------------------------------- load
+    @property
+    def load(self) -> int:
+        """The balancer's load metric: queued app work + busy flag."""
+        return self.msg_pool.app_len() + len(self.seed_pool) + (1 if self.busy else 0)
+
+    @property
+    def queued(self) -> int:
+        return len(self.msg_pool) + len(self.seed_pool)
+
+    def has_work(self) -> bool:
+        return self.queued > 0

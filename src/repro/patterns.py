@@ -1,0 +1,129 @@
+"""Reusable program patterns built on the chare API.
+
+The paper's conclusion argues the model is "rich enough to include shared
+memory and distributed memory programming, as well as other programming
+models (client-server applications, map-reduce, etc.)".  This module makes
+that concrete: small, tested helpers that assemble common patterns out of
+chares and the sharing abstractions, so applications don't re-derive them.
+
+* :func:`map_reduce` — apply a function to every item (each application is
+  one balancer-placed chare) and fold the results with a
+  commutative-associative combiner; termination by quiescence.
+* :func:`scatter_gather` — like map_reduce but the caller receives the
+  full list of (item, result) pairs (gathered at the main chare).
+
+Both run a fresh kernel and return ``(answer, RunResult)`` like the
+benchmark apps.  The mapped function must be deterministic and take/
+return message-safe values; per-item simulated cost comes from
+``work(item)`` (defaults to a flat constant).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+
+__all__ = ["map_reduce", "scatter_gather"]
+
+_DEFAULT_WORK = 100.0
+
+
+class _MapWorker(Chare):
+    def __init__(self, item):
+        fn = self.readonly("mr_fn")
+        work = self.readonly("mr_work")
+        self.charge(work(item) if callable(work) else work)
+        self.accumulate("mr_acc", fn(item))
+
+
+class _MapReduceMain(Chare):
+    def __init__(self, items, fn, op, initial, work):
+        self.set_readonly("mr_fn", fn)
+        self.set_readonly("mr_work", work)
+        self.new_accumulator("mr_acc", initial, op)
+        for item in items:
+            self.create(_MapWorker, item)
+        self.start_quiescence(self.thishandle, "quiet")
+
+    @entry
+    def quiet(self):
+        self.collect_accumulator("mr_acc", self.thishandle, "collected")
+
+    @entry
+    def collected(self, tag, value):
+        self.exit(value)
+
+
+def map_reduce(
+    machine: Machine,
+    items: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    op: str | Callable[[Any, Any], Any] = "sum",
+    initial: Any = 0,
+    work: float | Callable[[Any], float] = _DEFAULT_WORK,
+    queueing: str = "fifo",
+    balancer: str = "acwn",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Any, RunResult]:
+    """``reduce(op, map(fn, items), initial)`` as a chare program.
+
+    ``op`` must be commutative and associative (accumulator rules); the
+    combine order is schedule-dependent, so non-commutative folds would
+    be a correctness bug, not a pattern limitation.
+    """
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(_MapReduceMain, tuple(items), fn, op, initial, work)
+    return result.result, result
+
+
+class _GatherWorker(Chare):
+    def __init__(self, main, index, item):
+        fn = self.readonly("mr_fn")
+        work = self.readonly("mr_work")
+        self.charge(work(item) if callable(work) else work)
+        self.send(main, "one_result", index, fn(item))
+
+
+class _ScatterGatherMain(Chare):
+    def __init__(self, items, fn, work):
+        self.set_readonly("mr_fn", fn)
+        self.set_readonly("mr_work", work)
+        self.items = tuple(items)
+        self.pending = len(self.items)
+        self.results = [None] * len(self.items)
+        if self.pending == 0:
+            self.exit(())
+            return
+        for index, item in enumerate(self.items):
+            self.create(_GatherWorker, self.thishandle, index, item)
+
+    @entry
+    def one_result(self, index, value):
+        self.results[index] = value
+        self.pending -= 1
+        if self.pending == 0:
+            self.exit(tuple(zip(self.items, self.results)))
+
+
+def scatter_gather(
+    machine: Machine,
+    items: Sequence[Any],
+    fn: Callable[[Any], Any],
+    *,
+    work: float | Callable[[Any], float] = _DEFAULT_WORK,
+    queueing: str = "fifo",
+    balancer: str = "acwn",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Tuple[Tuple[Any, Any], ...], RunResult]:
+    """Apply ``fn`` to every item; gather ``((item, result), ...)`` in order."""
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(_ScatterGatherMain, tuple(items), fn, work)
+    return result.result, result

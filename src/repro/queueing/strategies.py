@@ -1,0 +1,227 @@
+"""Queueing strategies and the two-lane message pool.
+
+The pool a PE's scheduler draws from has two lanes:
+
+* a **system lane** (always FIFO, always drained first) for runtime
+  traffic: quiescence waves, load-balance tokens, distributed-table and
+  monotonic-variable messages.  Keeping these ahead of application work
+  reproduces Charm's "system messages are handled promptly" behavior and
+  keeps the shared abstractions responsive even when the app floods the
+  pool;
+* an **application lane** whose order is the pluggable
+  :class:`QueueStrategy` — the subject of experiment T6.
+
+Strategies see opaque items plus an optional priority; they never inspect
+message contents.  The priority queue uses :func:`normalize_priority` so
+integer and bitvector priorities coexist, with FIFO tie-breaking (stable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Dict, Optional, Type
+
+from repro.util.errors import ConfigurationError, SchedulingError
+from repro.util.priority import PriorityLike, normalize_priority
+
+__all__ = [
+    "QueueStrategy",
+    "FifoStrategy",
+    "LifoStrategy",
+    "IntPriorityStrategy",
+    "BitvectorPriorityStrategy",
+    "MessagePool",
+    "make_strategy",
+    "STRATEGIES",
+]
+
+
+class QueueStrategy(ABC):
+    """Ordering policy for the application lane of a message pool."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def push(self, item: Any, priority: PriorityLike = None) -> None:
+        """Insert an item."""
+
+    @abstractmethod
+    def pop(self) -> Any:
+        """Remove and return the next item; raises if empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of queued items."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FifoStrategy(QueueStrategy):
+    """First-in first-out — Charm's default queueing."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._q: deque = deque()
+
+    def push(self, item: Any, priority: PriorityLike = None) -> None:
+        self._q.append(item)
+
+    def pop(self) -> Any:
+        if not self._q:
+            raise SchedulingError("pop from empty FIFO pool")
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class LifoStrategy(QueueStrategy):
+    """Last-in first-out — approximates depth-first expansion order."""
+
+    name = "lifo"
+
+    def __init__(self) -> None:
+        self._q: list = []
+
+    def push(self, item: Any, priority: PriorityLike = None) -> None:
+        self._q.append(item)
+
+    def pop(self) -> Any:
+        if not self._q:
+            raise SchedulingError("pop from empty LIFO pool")
+        return self._q.pop()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+
+class _HeapStrategy(QueueStrategy):
+    """Shared machinery for prioritized strategies: stable binary heap."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, item: Any, priority: PriorityLike = None) -> None:
+        heapq.heappush(self._heap, (normalize_priority(priority), next(self._seq), item))
+
+    def pop(self) -> Any:
+        if not self._heap:
+            raise SchedulingError("pop from empty priority pool")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class IntPriorityStrategy(_HeapStrategy):
+    """Smaller integer priority first; unprioritized items run last, FIFO."""
+
+    name = "prio"
+
+
+class BitvectorPriorityStrategy(_HeapStrategy):
+    """Lexicographic bitvector priorities (Charm's B-prioritized queue).
+
+    Implementation-wise identical to :class:`IntPriorityStrategy` because
+    :func:`normalize_priority` already totally orders mixed priorities; the
+    class exists so experiment configs can name the intent.
+    """
+
+    name = "bitprio"
+
+
+class LifoPriorityStrategy(QueueStrategy):
+    """Priorities first, ties broken LIFO (Charm's stack-flavored queue).
+
+    Depth-first within a priority class: useful for searches where equal
+    bounds should be pursued depth-first to bound memory, while better
+    bounds still preempt.
+    """
+
+    name = "priolifo"
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    def push(self, item: Any, priority: PriorityLike = None) -> None:
+        # Negated sequence -> most recent wins within an equal priority.
+        heapq.heappush(
+            self._heap, (normalize_priority(priority), -next(self._seq), item)
+        )
+
+    def pop(self) -> Any:
+        if not self._heap:
+            raise SchedulingError("pop from empty priolifo pool")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+STRATEGIES: Dict[str, Type[QueueStrategy]] = {
+    "fifo": FifoStrategy,
+    "lifo": LifoStrategy,
+    "prio": IntPriorityStrategy,
+    "bitprio": BitvectorPriorityStrategy,
+    "priolifo": LifoPriorityStrategy,
+}
+
+
+def make_strategy(name: str) -> QueueStrategy:
+    """Instantiate a fresh strategy by name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown queueing strategy {name!r}; options: {sorted(STRATEGIES)}"
+        ) from None
+
+
+class MessagePool:
+    """Two-lane pool: system FIFO lane + pluggable application lane."""
+
+    def __init__(self, strategy: QueueStrategy | None = None) -> None:
+        self._system: deque = deque()
+        self._app = strategy if strategy is not None else FifoStrategy()
+        self.max_len = 0  # high-water mark, reported by the trace layer
+
+    @property
+    def strategy_name(self) -> str:
+        return self._app.name
+
+    def push(self, item: Any, priority: PriorityLike = None, system: bool = False) -> None:
+        if system:
+            self._system.append(item)
+        else:
+            self._app.push(item, priority)
+        n = len(self)
+        if n > self.max_len:
+            self.max_len = n
+
+    def pop(self) -> Any:
+        if self._system:
+            return self._system.popleft()
+        return self._app.pop()
+
+    def pop_system(self) -> Optional[Any]:
+        """Pop from the system lane only (startup gating); None if empty."""
+        if self._system:
+            return self._system.popleft()
+        return None
+
+    def app_len(self) -> int:
+        """Application-lane length — the load metric balancers use."""
+        return len(self._app)
+
+    def __len__(self) -> int:
+        return len(self._system) + len(self._app)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -1,0 +1,5 @@
+"""Quiescence detection (tree-based two-phase message counting)."""
+
+from repro.quiescence.detector import QuiescenceService
+
+__all__ = ["QuiescenceService"]

@@ -1,0 +1,147 @@
+"""Quiescence detection.
+
+The Chare Kernel lets a program ask to be told when the computation has
+*quiesced*: no entry method is executing, no counted message is queued, and
+none is in flight.  This is how tree-structured programs with no natural
+"last message" (count all N-queens solutions, exhaust a search space)
+terminate.
+
+Algorithm — the tree-based, two-phase message-counting scheme of the Charm
+lineage (Sinha & Kalé):
+
+1. The root (PE 0) starts a **wave**: a request flows down the PE spanning
+   tree; every PE replies with its (counted-sent, counted-processed,
+   locally-idle) triple; replies combine on the way up.
+2. The root declares quiescence only after **two consecutive waves** return
+   identical totals with ``sent == processed`` and every PE idle.  One wave
+   is not enough: the counts are sampled at different times on different
+   PEs, so a message can be processed "behind" one wave and re-sent "ahead"
+   of it; two stable waves rule that out because any activity between waves
+   changes the totals.
+3. On success, the registered callback entry is invoked; otherwise the next
+   wave starts after ``kernel.qd_interval`` of virtual time.
+
+QD wave messages are *uncounted* system traffic — the detector must not see
+its own probes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.handles import ChareHandle
+from repro.core.services import Service
+from repro.util.errors import QuiescenceError
+
+__all__ = ["QuiescenceService"]
+
+_WAVE_WORK = 3.0  # bookkeeping work units per wave handler
+
+
+class QuiescenceService(Service):
+    """Per-kernel quiescence detector."""
+
+    name = "qd"
+
+    def bind(self, kernel) -> None:
+        super().bind(kernel)
+        self._callback: Optional[Tuple[ChareHandle, str]] = None
+        self._wave = 0
+        self._prev_totals: Optional[Tuple[int, int]] = None
+        # (wave, pe) -> partial aggregation state
+        self._agg: Dict[Tuple[int, int], dict] = {}
+        self.waves_run = 0
+        self.detected_at: Optional[float] = None
+        # Snapshot of kernel.last_counted_exec_time taken *at* detection,
+        # before the callback's own (counted) messages move it: the true
+        # end of application work, for latency accounting (T9).
+        self.work_end_at_detection: Optional[float] = None
+
+    # ---------------------------------------------------------------- control
+    def start(self, target: ChareHandle, entry: str, from_pe: int) -> None:
+        """Register the callback and kick off wave 1 (root = PE 0)."""
+        if self._callback is not None:
+            raise QuiescenceError("quiescence detection already active")
+        self._callback = (target, entry)
+        self.send(from_pe, 0, "begin", ())
+
+    def _start_wave(self) -> None:
+        if self._callback is None:  # detection already fired
+            return
+        self._wave += 1
+        self.waves_run += 1
+        self.send(0, 0, "req", (self._wave,))
+
+    # --------------------------------------------------------------- handlers
+    def handle(self, pe: int, op: str, args: tuple) -> None:
+        kernel = self.kernel
+        kernel.api_charge(_WAVE_WORK)
+
+        if op == "begin":
+            if pe != 0:
+                raise QuiescenceError("QD begin must execute on PE 0")
+            self._start_wave()
+
+        elif op == "req":
+            (wave,) = args
+            children = kernel.tree.children(pe)
+            for child in children:
+                self.send(pe, child, "req", (wave,))
+            self._fold(
+                wave,
+                pe,
+                kernel.counted_sent[pe],
+                kernel.counted_processed[pe],
+                not kernel.pes[pe].has_work(),
+            )
+
+        elif op == "up":
+            wave, sent, processed, idle = args
+            self._fold(wave, pe, sent, processed, idle)
+
+        else:  # pragma: no cover - defensive
+            raise QuiescenceError(f"unknown QD op {op!r}")
+
+    def _fold(self, wave: int, pe: int, sent: int, processed: int, idle: bool) -> None:
+        kernel = self.kernel
+        key = (wave, pe)
+        st = self._agg.get(key)
+        if st is None:
+            st = {
+                "sent": 0,
+                "processed": 0,
+                "idle": True,
+                "have": 0,
+                "need": 1 + len(kernel.tree.children(pe)),
+            }
+            self._agg[key] = st
+        st["sent"] += sent
+        st["processed"] += processed
+        st["idle"] = st["idle"] and idle
+        st["have"] += 1
+        if st["have"] < st["need"]:
+            return
+        del self._agg[key]
+        parent = kernel.tree.parent(pe)
+        if parent is not None:
+            self.send(pe, parent, "up", (wave, st["sent"], st["processed"], st["idle"]))
+            return
+        self._root_decide(st["sent"], st["processed"], st["idle"])
+
+    def _root_decide(self, sent: int, processed: int, idle: bool) -> None:
+        kernel = self.kernel
+        if sent < processed:
+            raise QuiescenceError(
+                f"QD accounting violated: processed {processed} > sent {sent}"
+            )
+        stable = idle and sent == processed
+        if stable and self._prev_totals == (sent, processed):
+            target, entry = self._callback  # type: ignore[misc]
+            self._callback = None
+            self._prev_totals = None
+            self.detected_at = kernel.now
+            self.work_end_at_detection = kernel.last_counted_exec_time
+            kernel.send_app_from_service(0, target, entry, ())
+            return
+        self._prev_totals = (sent, processed) if stable else None
+        kernel.engine.schedule_after(kernel.qd_interval, self._start_wave)

@@ -1,0 +1,14 @@
+"""Specific modes of information sharing (the paper's §4 machinery).
+
+Read-only and write-once variables, accumulators, monotonic variables and
+distributed tables — each a restricted sharing pattern that admits an
+efficient implementation on both shared- and distributed-memory machines.
+User code reaches these through :class:`repro.core.chare.Chare` methods
+(``accumulate``, ``update_monotonic``, ``table_find`` …); this package is
+their distributed implementation.
+"""
+
+from repro.sharing.manager import SharingService
+from repro.sharing.ops import combine, improves
+
+__all__ = ["SharingService", "combine", "improves"]

@@ -1,0 +1,283 @@
+"""The sharing service: the paper's "specific modes of information sharing".
+
+One :class:`SharingService` per kernel implements, with real (cost-bearing,
+simulated) messages:
+
+* the **init broadcast** that replicates read-only variables and shared
+  abstraction declarations and opens the per-PE startup gates,
+* **write-once** replication,
+* **accumulators** — per-PE local partials (zero messages on update) with a
+  tree gather on collection,
+* **monotonic variables** — per-PE cached best value, with *eager* (tree
+  flood on improvement), *lazy* (batched, interval-delayed tree flood) or
+  *off* propagation (experiment T7's knob),
+* **distributed tables** — hash-partitioned shards with insert/find/delete
+  ops and reply-to-entry continuations,
+* BOC plumbing: branch construction, spanning-tree broadcast, and the
+  upward legs of BOC reductions (the fold itself lives in the kernel).
+
+Naming: all ops are small strings routed via SVC envelopes; see
+:class:`repro.core.services.Service`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.handles import ChareHandle
+from repro.core.services import Service
+from repro.sharing.ops import combine, improves
+from repro.util.errors import SharingError
+from repro.util.hashing import stable_hash
+
+__all__ = ["SharingService"]
+
+#: Sentinel for "this PE has no contributions yet".  The accumulator's
+#: initial value lives on PE 0 only, so it participates in the collected
+#: result exactly once regardless of PE count (Charm semantics).
+_EMPTY = object()
+
+
+def _acc_fold(op):
+    """Combiner lifted over the _EMPTY sentinel."""
+
+    def fold(a, b):
+        if a is _EMPTY:
+            return b
+        if b is _EMPTY:
+            return a
+        return combine(op, a, b)
+
+    return fold
+
+# Work units charged by service handlers (bookkeeping costs, roughly a few
+# dozen instructions each on the reference node).
+_HANDLER_WORK = 5.0
+_TABLE_WORK = 20.0
+
+
+class SharingService(Service):
+    """Per-PE state and message handlers for the sharing abstractions."""
+
+    name = "share"
+
+    def bind(self, kernel) -> None:
+        super().bind(kernel)
+        n = kernel.num_pes
+        # Declarations (global specs, distributed by the init broadcast).
+        self._acc_spec: Dict[str, Tuple[Any, Any]] = {}          # name -> (initial, op)
+        self._mono_spec: Dict[str, Tuple[Any, Any, str]] = {}    # name -> (initial, better, prop)
+        self._tables: set[str] = set()
+        # Per-PE state.
+        self._acc: Dict[Tuple[str, int], Any] = {}
+        self._mono: Dict[Tuple[str, int], Any] = {}
+        self._mono_dirty: Dict[Tuple[str, int], bool] = {}
+        self._shards: Dict[Tuple[str, int], dict] = {}
+        self._collect_id = 0
+        self.mono_updates_sent = 0
+        self.mono_updates_applied = 0
+
+    # ------------------------------------------------------------ declarations
+    def declarations(self) -> tuple:
+        """Payload describing all declared abstractions (init broadcast)."""
+        return (dict(self._acc_spec), dict(self._mono_spec), tuple(self._tables))
+
+    def declare_accumulator(self, name: str, initial: Any, op) -> None:
+        if name in self._acc_spec:
+            raise SharingError(f"accumulator {name!r} already declared")
+        self._acc_spec[name] = (initial, op)
+        for pe in range(self.kernel.num_pes):
+            self._acc[(name, pe)] = _EMPTY
+        self._acc[(name, 0)] = initial
+
+    def declare_monotonic(self, name: str, initial: Any, better, propagation: str) -> None:
+        if name in self._mono_spec:
+            raise SharingError(f"monotonic variable {name!r} already declared")
+        if propagation not in ("eager", "lazy", "off"):
+            raise SharingError(
+                f"propagation must be eager/lazy/off, got {propagation!r}"
+            )
+        self._mono_spec[name] = (initial, better, propagation)
+        for pe in range(self.kernel.num_pes):
+            self._mono[(name, pe)] = initial
+
+    def declare_table(self, name: str) -> None:
+        if name in self._tables:
+            raise SharingError(f"table {name!r} already declared")
+        self._tables.add(name)
+        for pe in range(self.kernel.num_pes):
+            self._shards[(name, pe)] = {}
+
+    # ------------------------------------------------------------- accumulator
+    def accumulate(self, name: str, value: Any, pe: int) -> None:
+        spec = self._acc_spec.get(name)
+        if spec is None:
+            raise SharingError(f"unknown accumulator {name!r}")
+        self._acc[(name, pe)] = _acc_fold(spec[1])(self._acc[(name, pe)], value)
+
+    def accumulator_partial(self, name: str, pe: int) -> Any:
+        """This PE's partial, or the declared initial if it has none."""
+        value = self._acc[(name, pe)]
+        return self._acc_spec[name][0] if value is _EMPTY else value
+
+    def collect_accumulator(
+        self, name: str, target: ChareHandle, entry: str, from_pe: int
+    ) -> None:
+        if name not in self._acc_spec:
+            raise SharingError(f"unknown accumulator {name!r}")
+        self._collect_id += 1
+        self.send(
+            from_pe, 0, "acc_req", (name, self._collect_id, target, entry), counted=True
+        )
+
+    # --------------------------------------------------------------- monotonic
+    def update_monotonic(self, name: str, value: Any, pe: int) -> None:
+        spec = self._mono_spec.get(name)
+        if spec is None:
+            raise SharingError(f"unknown monotonic variable {name!r}")
+        _, better, propagation = spec
+        if not improves(better, value, self._mono[(name, pe)]):
+            return
+        self._mono[(name, pe)] = value
+        self.mono_updates_applied += 1
+        if propagation == "eager":
+            self._flood(name, pe, exclude=None)
+        elif propagation == "lazy":
+            self._mark_dirty(name, pe)
+        # "off": local only (the T7 ablation's broken-sharing arm).
+
+    def read_monotonic(self, name: str, pe: int) -> Any:
+        if name not in self._mono_spec:
+            raise SharingError(f"unknown monotonic variable {name!r}")
+        return self._mono[(name, pe)]
+
+    def _neighbors_in_tree(self, pe: int):
+        out = list(self.kernel.tree.children(pe))
+        parent = self.kernel.tree.parent(pe)
+        if parent is not None:
+            out.append(parent)
+        return out
+
+    def _flood(self, name: str, pe: int, exclude: Optional[int]) -> None:
+        value = self._mono[(name, pe)]
+        for nb in self._neighbors_in_tree(pe):
+            if nb != exclude:
+                self.mono_updates_sent += 1
+                self.send(pe, nb, "mono_update", (name, value, pe), counted=True)
+
+    def _mark_dirty(self, name: str, pe: int) -> None:
+        key = (name, pe)
+        if self._mono_dirty.get(key):
+            return
+        self._mono_dirty[key] = True
+        self.kernel.engine.schedule_after(
+            self.kernel.lazy_interval, lambda: self._lazy_flush(name, pe)
+        )
+
+    def _lazy_flush(self, name: str, pe: int) -> None:
+        self._mono_dirty[(name, pe)] = False
+        self._flood(name, pe, exclude=None)
+
+    # ------------------------------------------------------------------ tables
+    def table_home(self, table: str, key: Any) -> int:
+        if table not in self._tables:
+            raise SharingError(f"unknown table {table!r}")
+        return stable_hash((table, key)) % self.kernel.num_pes
+
+    def table_insert(self, table, key, value, reply_to, reply_entry, pe) -> None:
+        home = self.table_home(table, key)
+        self.send(
+            pe, home, "tbl_insert", (table, key, value, reply_to, reply_entry),
+            counted=True,
+        )
+
+    def table_find(self, table, key, reply_to, reply_entry, pe) -> None:
+        home = self.table_home(table, key)
+        self.send(
+            pe, home, "tbl_find", (table, key, reply_to, reply_entry), counted=True
+        )
+
+    def table_delete(self, table, key, pe) -> None:
+        home = self.table_home(table, key)
+        self.send(pe, home, "tbl_delete", (table, key), counted=True)
+
+    def shard(self, table: str, pe: int) -> dict:
+        """Direct (test/diagnostic) view of a table shard."""
+        return self._shards[(table, pe)]
+
+    # ----------------------------------------------------------------- handlers
+    def handle(self, pe: int, op: str, args: tuple) -> None:
+        kernel = self.kernel
+        kernel.api_charge(_HANDLER_WORK)
+
+        if op == "init":
+            readonly, decls = args
+            # Values are already in kernel.readonly_vars / our spec dicts
+            # (the simulation shares host memory); the broadcast models the
+            # replication *cost* and sequencing.
+            for child in kernel.tree.children(pe):
+                self.send(pe, child, "init", args, counted=False)
+            kernel.open_gate(pe)
+
+        elif op == "boc_create":
+            boc_id, boc_cls, cargs = args
+            for child in kernel.tree.children(pe):
+                self.send(pe, child, "boc_create", args, counted=True)
+            kernel.construct_branch(boc_id, boc_cls, cargs, pe)
+
+        elif op in ("boc_bcast", "bcast_down"):
+            boc_id, entry, bargs = args
+            for child in kernel.tree.children(pe):
+                self.send(pe, child, "bcast_down", args, counted=True)
+            kernel.deliver_local_boc(boc_id, pe, entry, bargs)
+
+        elif op == "red_up":
+            boc_id, tag, value, rop, target, entry, mode = args
+            kernel._reduce_fold(boc_id, tag, pe, value, rop, target, entry,
+                                own=False, mode=mode)
+
+        elif op == "wonce_bcast":
+            name, value = args
+            kernel.writeonce_vars.setdefault(name, value)
+            kernel._writeonce_avail[(name, pe)] = True
+            for child in kernel.tree.children(pe):
+                self.send(pe, child, "wonce_bcast", args, counted=True)
+
+        elif op == "acc_req":
+            name, cid, target, entry = args
+            for child in kernel.tree.children(pe):
+                self.send(pe, child, "acc_req", args, counted=True)
+            _initial, aop = self._acc_spec[name]
+            kernel._reduce_fold(
+                -1, f"acc:{name}:{cid}", pe, self._acc[(name, pe)],
+                _acc_fold(aop), target, entry, own=True,
+            )
+
+        elif op == "mono_update":
+            name, value, src = args
+            _, better, _prop = self._mono_spec[name]
+            if improves(better, value, self._mono[(name, pe)]):
+                self._mono[(name, pe)] = value
+                self.mono_updates_applied += 1
+                self._flood(name, pe, exclude=src)
+
+        elif op == "tbl_insert":
+            kernel.api_charge(_TABLE_WORK)
+            table, key, value, reply_to, reply_entry = args
+            self._shards[(table, pe)][key] = value
+            if reply_to is not None:
+                kernel.send_app_from_service(pe, reply_to, reply_entry, (key,))
+
+        elif op == "tbl_find":
+            kernel.api_charge(_TABLE_WORK)
+            table, key, reply_to, reply_entry = args
+            value = self._shards[(table, pe)].get(key)
+            kernel.send_app_from_service(pe, reply_to, reply_entry, (key, value))
+
+        elif op == "tbl_delete":
+            kernel.api_charge(_TABLE_WORK)
+            table, key = args
+            self._shards[(table, pe)].pop(key, None)
+
+        else:  # pragma: no cover - defensive
+            raise SharingError(f"unknown sharing op {op!r}")

@@ -1,0 +1,50 @@
+"""Combining operators for accumulators, reductions and monotonic variables.
+
+The paper restricts shared abstractions to operations with algebraic
+structure: accumulators need a **commutative, associative** combiner (so
+partial results can fold in any order on any PE) and monotonic variables
+need an **improvement order** (so stale updates are simply ignored).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Union
+
+from repro.util.errors import SharingError
+
+__all__ = ["combine", "improves", "OpLike", "BetterLike"]
+
+OpLike = Union[str, Callable[[Any, Any], Any]]
+BetterLike = Union[str, Callable[[Any, Any], bool]]
+
+_NAMED_OPS = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "max": max,
+    "min": min,
+}
+
+
+def combine(op: OpLike, a: Any, b: Any) -> Any:
+    """Fold two partials with a named or user-supplied combiner."""
+    if callable(op):
+        return op(a, b)
+    try:
+        return _NAMED_OPS[op](a, b)
+    except KeyError:
+        raise SharingError(
+            f"unknown combiner {op!r}; options: {sorted(_NAMED_OPS)} or a callable"
+        ) from None
+
+
+def improves(better: BetterLike, new: Any, old: Any) -> bool:
+    """True if ``new`` improves on ``old`` under the given order."""
+    if callable(better):
+        return bool(better(new, old))
+    if better == "min":
+        return new < old
+    if better == "max":
+        return new > old
+    raise SharingError(
+        f"unknown improvement order {better!r}; use 'min', 'max' or a callable"
+    )

@@ -1,0 +1,10 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny and generic: a binary heap of timestamped
+callbacks with deterministic tie-breaking.  Everything Charm-specific lives
+above it in :mod:`repro.core`.
+"""
+
+from repro.sim.engine import Engine, Event
+
+__all__ = ["Engine", "Event"]

@@ -1,0 +1,140 @@
+"""A deterministic discrete-event engine.
+
+Design notes
+------------
+* Virtual time is a float in **seconds**; events fire in nondecreasing time
+  order.  Equal-time events fire in schedule order (a monotone sequence
+  number breaks ties), so a run is a pure function of its inputs and seeds.
+* Callbacks may schedule further events, including at the current time (but
+  never in the past — that raises :class:`SchedulingError`, since a causal
+  simulation must not rewrite history).
+* The engine neither knows nor cares about PEs or messages; the Chare
+  Kernel runtime layers those semantics on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.util.errors import SchedulingError
+
+__all__ = ["Event", "Engine"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Engine:
+    """The event loop.
+
+    Typical use::
+
+        eng = Engine()
+        eng.schedule(0.0, start)        # absolute time
+        eng.run()                       # until the heap drains
+        print(eng.now)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without firing events (never backward)."""
+        if time > self._now:
+            self._now = time
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        ev = Event(float(time), next(self._seq), fn)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` after a nonnegative ``delay`` from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.schedule(self._now + delay, fn)
+
+    # --------------------------------------------------------------- execution
+    def step(self) -> bool:
+        """Fire the single next live event.  Returns False if none remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_fired += 1
+            ev.fn()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the heap drains, ``until`` is passed, or budget spent.
+
+        ``until`` is an inclusive time horizon: events at exactly ``until``
+        still fire.  ``max_events`` bounds callbacks fired by *this* call.
+        """
+        if self._running:
+            raise SchedulingError("Engine.run is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return
+                # Peek for the horizon check without popping dead events
+                # prematurely — cancelled events at the front are free to drop.
+                while self._heap and self._heap[0].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    return
+                if until is not None and self._heap[0].time > until:
+                    self._now = until
+                    return
+                if self.step():
+                    fired += 1
+        finally:
+            self._running = False

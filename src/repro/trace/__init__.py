@@ -1,0 +1,6 @@
+"""Performance tracing: per-PE counters, utilization, text reports."""
+
+from repro.trace.report import PERow, TraceReport
+from repro.trace.timeline import Interval, Timeline
+
+__all__ = ["PERow", "TraceReport", "Interval", "Timeline"]

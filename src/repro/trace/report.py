@@ -1,0 +1,157 @@
+"""Run statistics.
+
+The simulator keeps cheap counters on every PE while it runs (the
+"projections-lite" view); :class:`TraceReport` snapshots them at the end of
+a run into a plain-data structure the benchmark harness and tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["PERow", "TraceReport"]
+
+
+@dataclass(frozen=True)
+class PERow:
+    """Counters for one PE."""
+
+    pe: int
+    busy_time: float
+    utilization: float
+    msgs_executed: int
+    seeds_executed: int
+    system_executed: int
+    msgs_sent: int
+    bytes_sent: int
+    seeds_created: int
+    charged_units: float
+    max_pool: int
+    steal_attempts: int
+    steals_satisfied: int
+
+
+@dataclass
+class TraceReport:
+    """Aggregated statistics of one kernel run."""
+
+    machine: str
+    num_pes: int
+    queueing: str
+    balancer: str
+    total_time: float
+    pe_rows: List[PERow] = field(default_factory=list)
+    counted_sent: int = 0
+    counted_processed: int = 0
+    total_message_hops: int = 0
+    qd_waves: int = 0
+    qd_detected_at: float | None = None
+    mono_updates_sent: int = 0
+    mono_updates_applied: int = 0
+    lb_control_msgs: int = 0
+    lb_seeds_remote: int = 0
+
+    # ----------------------------------------------------------------- builders
+    @classmethod
+    def from_kernel(cls, kernel) -> "TraceReport":
+        t = kernel.now
+        rows = []
+        for pe in kernel.pes:
+            rows.append(
+                PERow(
+                    pe=pe.index,
+                    busy_time=pe.busy_time,
+                    utilization=(pe.busy_time / t) if t > 0 else 0.0,
+                    msgs_executed=pe.msgs_executed,
+                    seeds_executed=pe.seeds_executed,
+                    system_executed=pe.system_executed,
+                    msgs_sent=pe.msgs_sent,
+                    bytes_sent=pe.bytes_sent,
+                    seeds_created=pe.seeds_created,
+                    charged_units=pe.charged_units,
+                    max_pool=pe.max_queued,
+                    steal_attempts=pe.steal_attempts,
+                    steals_satisfied=pe.steals_satisfied,
+                )
+            )
+        return cls(
+            machine=kernel.machine.name,
+            num_pes=kernel.num_pes,
+            queueing=kernel.queueing,
+            balancer=getattr(kernel.balancer, "strategy_name", "?"),
+            total_time=t,
+            pe_rows=rows,
+            counted_sent=sum(kernel.counted_sent),
+            counted_processed=sum(kernel.counted_processed),
+            total_message_hops=kernel.total_message_hops,
+            qd_waves=kernel.qd.waves_run,
+            qd_detected_at=kernel.qd.detected_at,
+            mono_updates_sent=kernel.sharing.mono_updates_sent,
+            mono_updates_applied=kernel.sharing.mono_updates_applied,
+            lb_control_msgs=kernel.balancer.control_msgs,
+            lb_seeds_remote=kernel.balancer.seeds_placed_remote,
+        )
+
+    # ---------------------------------------------------------------- accessors
+    @property
+    def total_msgs_executed(self) -> int:
+        return sum(r.msgs_executed + r.seeds_executed for r in self.pe_rows)
+
+    @property
+    def total_system_executed(self) -> int:
+        return sum(r.system_executed for r in self.pe_rows)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(r.bytes_sent for r in self.pe_rows)
+
+    @property
+    def total_charged(self) -> float:
+        return sum(r.charged_units for r in self.pe_rows)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.pe_rows:
+            return 0.0
+        return sum(r.utilization for r in self.pe_rows) / len(self.pe_rows)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max(busy) / mean(busy) — 1.0 is perfectly balanced."""
+        busys = [r.busy_time for r in self.pe_rows]
+        mean = sum(busys) / len(busys) if busys else 0.0
+        return (max(busys) / mean) if mean > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "num_pes": self.num_pes,
+            "queueing": self.queueing,
+            "balancer": self.balancer,
+            "total_time": self.total_time,
+            "total_msgs": self.total_msgs_executed,
+            "system_msgs": self.total_system_executed,
+            "bytes_sent": self.total_bytes_sent,
+            "charged": self.total_charged,
+            "mean_util": self.mean_utilization,
+            "imbalance": self.load_imbalance,
+            "qd_waves": self.qd_waves,
+            "lb_control": self.lb_control_msgs,
+            "lb_remote_seeds": self.lb_seeds_remote,
+        }
+
+    def summary(self) -> str:
+        """One human-readable block (used by examples and bench output)."""
+        d = self.as_dict()
+        lines = [
+            f"machine={d['machine']} P={self.num_pes} "
+            f"queueing={d['queueing']} balancer={d['balancer']}",
+            f"  virtual time      : {d['total_time'] * 1e3:10.3f} ms",
+            f"  app msgs executed : {d['total_msgs']:10d}",
+            f"  system msgs       : {d['system_msgs']:10d}",
+            f"  bytes sent        : {d['bytes_sent']:10d}",
+            f"  mean utilization  : {d['mean_util'] * 100:9.1f} %",
+            f"  load imbalance    : {d['imbalance']:10.3f}",
+        ]
+        return "\n".join(lines)

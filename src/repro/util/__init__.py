@@ -1,0 +1,33 @@
+"""Utility layer: errors, deterministic RNG streams, priorities, sizing.
+
+These are the leaf dependencies of every other subpackage.  Nothing in
+:mod:`repro.util` imports from elsewhere in the package.
+"""
+
+from repro.util.errors import (
+    CharmError,
+    SchedulingError,
+    TopologyError,
+    RoutingError,
+    QuiescenceError,
+    SharingError,
+    ConfigurationError,
+)
+from repro.util.rng import RngStream, derive_seed
+from repro.util.priority import BitVectorPriority, normalize_priority
+from repro.util.sizing import payload_nbytes
+
+__all__ = [
+    "CharmError",
+    "SchedulingError",
+    "TopologyError",
+    "RoutingError",
+    "QuiescenceError",
+    "SharingError",
+    "ConfigurationError",
+    "RngStream",
+    "derive_seed",
+    "BitVectorPriority",
+    "normalize_priority",
+    "payload_nbytes",
+]

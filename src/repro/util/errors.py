@@ -1,0 +1,35 @@
+"""Exception hierarchy for the Chare Kernel reproduction.
+
+All library errors derive from :class:`CharmError` so callers can catch one
+type.  Subclasses mark which subsystem raised.
+"""
+
+from __future__ import annotations
+
+
+class CharmError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(CharmError):
+    """Invalid user-supplied configuration (machine, strategy, app params)."""
+
+
+class SchedulingError(CharmError):
+    """Raised by the DES engine / per-PE scheduler on inconsistent state."""
+
+
+class TopologyError(CharmError):
+    """Invalid topology construction or out-of-range PE index."""
+
+
+class RoutingError(CharmError):
+    """A message could not be routed (bad handle, dead chare, bad PE)."""
+
+
+class QuiescenceError(CharmError):
+    """Quiescence-detection protocol violation (counts went negative, etc.)."""
+
+
+class SharingError(CharmError):
+    """Misuse of an information-sharing abstraction (e.g. double write-once)."""

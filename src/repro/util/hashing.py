@@ -1,0 +1,52 @@
+"""Stable content hashing for distributed-table key placement.
+
+Python's builtin ``hash`` is salted per process, so table shards would move
+between runs; this module provides a deterministic 64-bit hash over the
+key vocabulary messages allow (scalars, strings, bytes, tuples of those).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.util.errors import SharingError
+
+__all__ = ["stable_hash"]
+
+
+def _feed(h, obj: Any) -> None:
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        h.update(b"I")
+        h.update(str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"F")
+        h.update(obj.hex().encode())
+    elif isinstance(obj, str):
+        h.update(b"S")
+        h.update(obj.encode("utf-8"))
+    elif isinstance(obj, (bytes, bytearray)):
+        h.update(b"Y")
+        h.update(bytes(obj))
+    elif isinstance(obj, tuple):
+        h.update(b"T(")
+        for x in obj:
+            _feed(h, x)
+            h.update(b",")
+        h.update(b")")
+    else:
+        raise SharingError(
+            f"unhashable table key type {type(obj).__name__!r}; use "
+            "scalars, strings, bytes or tuples of those"
+        )
+
+
+def stable_hash(key: Any) -> int:
+    """Deterministic 64-bit hash of ``key`` (stable across runs/platforms)."""
+    h = hashlib.blake2b(digest_size=8)
+    _feed(h, key)
+    return int.from_bytes(h.digest(), "little")

@@ -1,0 +1,68 @@
+"""Shared fixtures: small machines and a tiny reference program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Chare, Kernel, entry
+from repro.machine.presets import make_machine
+
+
+@pytest.fixture
+def ideal4():
+    """Zero-overhead 4-PE machine (pure algorithm checks)."""
+    return make_machine("ideal", 4)
+
+
+@pytest.fixture
+def ipsc8():
+    """8-PE iPSC/2-class hypercube (realistic costs)."""
+    return make_machine("ipsc2", 8)
+
+
+@pytest.fixture
+def symmetry4():
+    """4-PE bus shared-memory machine."""
+    return make_machine("symmetry", 4)
+
+
+class EchoWorker(Chare):
+    """Replies to its parent with (index, my_pe)."""
+
+    def __init__(self, parent, index):
+        self.charge(10)
+        self.send(parent, "reply", index, self.my_pe)
+
+
+class EchoMain(Chare):
+    """Creates n workers; exits with sorted replies once all arrive."""
+
+    def __init__(self, n, pin):
+        self.n = n
+        self.replies = []
+        for i in range(n):
+            pe = (i % self.num_pes) if pin else None
+            self.create(EchoWorker, self.thishandle, i, pe=pe)
+
+    @entry
+    def reply(self, index, pe):
+        self.replies.append((index, pe))
+        if len(self.replies) == self.n:
+            self.exit(sorted(self.replies))
+
+
+@pytest.fixture
+def echo_program():
+    """(Main chare class) for quick end-to-end runs."""
+    return EchoMain
+
+
+def run_echo(machine, n=8, pin=False, **kernel_kwargs):
+    """Convenience: run the echo program and return its RunResult."""
+    kernel = Kernel(machine, **kernel_kwargs)
+    return kernel.run(EchoMain, n, pin)
+
+
+@pytest.fixture
+def echo_runner():
+    return run_echo

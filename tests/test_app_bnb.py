@@ -1,0 +1,134 @@
+"""TSP and knapsack branch-and-bound application tests."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.knapsack import KnapsackInstance, knapsack_seq, run_knapsack
+from repro.apps.tsp import TspInstance, _greedy_tour, _lower_bound, tsp_seq, run_tsp
+
+
+# ------------------------------------------------------------------ instances
+def test_tsp_instance_symmetric_and_deterministic():
+    a = TspInstance.random(8, seed=5)
+    b = TspInstance.random(8, seed=5)
+    assert a == b
+    for i in range(8):
+        assert a.dist[i][i] == 0
+        for j in range(8):
+            assert a.dist[i][j] == a.dist[j][i]
+
+
+def test_tsp_lower_bound_admissible():
+    inst = TspInstance.random(7, seed=2)
+    best, _ = tsp_seq(inst)
+    assert _lower_bound(inst, (0,), 0) <= best
+    assert _greedy_tour(inst) >= best
+
+
+def test_knapsack_instance_sorted_by_density():
+    inst = KnapsackInstance.random(12, seed=3)
+    densities = [v / w for v, w in zip(inst.values, inst.weights)]
+    assert densities == sorted(densities, reverse=True)
+    assert 0 < inst.capacity < sum(inst.weights)
+
+
+def test_knapsack_seq_matches_dp():
+    inst = KnapsackInstance.random(14, seed=1)
+    best, _ = knapsack_seq(inst)
+    # Independent check: classic DP over capacity.
+    dp = [0] * (inst.capacity + 1)
+    for w, v in zip(inst.weights, inst.values):
+        for c in range(inst.capacity, w - 1, -1):
+            dp[c] = max(dp[c], dp[c - w] + v)
+    assert best == dp[inst.capacity]
+
+
+# ------------------------------------------------------------------- parallel
+@pytest.mark.parametrize("machine_name,pes,queueing", [
+    ("ideal", 1, "prio"),
+    ("symmetry", 4, "fifo"),
+    ("ipsc2", 8, "prio"),
+    ("ipsc2", 8, "lifo"),
+])
+def test_tsp_parallel_finds_optimum(machine_name, pes, queueing):
+    inst = TspInstance.random(8, seed=4)
+    best_ref, _ = tsp_seq(inst)
+    (best, nodes, pruned), _ = run_tsp(
+        make_machine(machine_name, pes), inst, queueing=queueing
+    )
+    assert best == best_ref
+    assert nodes >= 1
+
+
+@pytest.mark.parametrize("propagation", ["eager", "lazy", "off"])
+def test_tsp_optimum_independent_of_propagation(propagation):
+    inst = TspInstance.random(8, seed=9)
+    best_ref, _ = tsp_seq(inst)
+    (best, _, _), _ = run_tsp(
+        make_machine("ipsc2", 8), inst, propagation=propagation
+    )
+    assert best == best_ref
+
+
+@pytest.mark.parametrize("grain", [0, 2, 5, 7])
+def test_tsp_grain_invariant(grain):
+    inst = TspInstance.random(8, seed=7)
+    best_ref, _ = tsp_seq(inst)
+    (best, _, _), _ = run_tsp(make_machine("ipsc2", 4), inst, grain=grain)
+    assert best == best_ref
+
+
+def test_tsp_loose_incumbent_still_exact():
+    inst = TspInstance.random(8, seed=1)
+    best_ref, _ = tsp_seq(inst)
+    (best, nodes_loose, _), _ = run_tsp(
+        make_machine("ipsc2", 8), inst, bound_slack=2.0
+    )
+    (best2, nodes_tight, _), _ = run_tsp(
+        make_machine("ipsc2", 8), inst, bound_slack=1.0
+    )
+    assert best == best2 == best_ref
+    assert nodes_loose >= nodes_tight  # weaker initial bound, more work
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("ipsc2", 8), ("symmetry", 16),
+])
+def test_knapsack_parallel_finds_optimum(machine_name, pes):
+    inst = KnapsackInstance.random(18, seed=6)
+    best_ref, _ = knapsack_seq(inst)
+    (best, nodes), _ = run_knapsack(make_machine(machine_name, pes), inst, grain=8)
+    assert best == best_ref
+
+
+@pytest.mark.parametrize("grain", [0, 6, 18, 30])
+def test_knapsack_grain_invariant(grain):
+    inst = KnapsackInstance.random(16, seed=2)
+    best_ref, _ = knapsack_seq(inst)
+    (best, _), _ = run_knapsack(make_machine("ipsc2", 4), inst, grain=grain)
+    assert best == best_ref
+
+
+def test_knapsack_priority_search_expands_fewer_nodes():
+    inst = KnapsackInstance.random(20, seed=0)
+    (_, nodes_fifo), _ = run_knapsack(
+        make_machine("ipsc2", 8), inst, grain=8, queueing="fifo"
+    )
+    (_, nodes_prio), _ = run_knapsack(
+        make_machine("ipsc2", 8), inst, grain=8, queueing="prio"
+    )
+    assert nodes_prio <= nodes_fifo
+
+
+def test_monotonic_sharing_prunes_nodes():
+    """The T7 claim at test scale: no propagation => more expanded nodes."""
+    inst = TspInstance.random(9, seed=3)
+    (_, nodes_eager, _), _ = run_tsp(
+        make_machine("ipsc2", 8), inst, grain=2, bound_slack=1.6,
+        queueing="fifo", propagation="eager",
+    )
+    (_, nodes_off, _), _ = run_tsp(
+        make_machine("ipsc2", 8), inst, grain=2, bound_slack=1.6,
+        queueing="fifo", propagation="off",
+    )
+    assert nodes_off >= nodes_eager

@@ -1,0 +1,82 @@
+"""Fib and primes application tests."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.fib import fib_seq, run_fib
+from repro.apps.primes import primes_seq, run_primes
+
+
+# ------------------------------------------------------------------------ fib
+def test_fib_seq_values():
+    assert fib_seq(0) == (0, 1)
+    assert fib_seq(1) == (1, 1)
+    assert [fib_seq(n)[0] for n in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("symmetry", 4), ("ipsc2", 16),
+])
+def test_fib_parallel_matches(machine_name, pes):
+    value, _ = run_fib(make_machine(machine_name, pes), n=17, threshold=8)
+    assert value == fib_seq(17)[0]
+
+
+@pytest.mark.parametrize("threshold", [1, 5, 12, 20])
+def test_fib_threshold_invariant(threshold):
+    value, _ = run_fib(make_machine("ipsc2", 8), n=16, threshold=threshold)
+    assert value == fib_seq(16)[0]
+
+
+def test_fib_threshold_above_n_is_sequential():
+    value, result = run_fib(make_machine("ideal", 4), n=12, threshold=20)
+    assert value == fib_seq(12)[0]
+    assert sum(r.seeds_executed for r in result.stats.pe_rows) == 2  # main + root
+
+
+def test_fib_base_cases_parallel():
+    assert run_fib(make_machine("ideal", 2), n=1, threshold=1)[0] == 1
+    # n=0 < any threshold -> computed in the root chare.
+    assert run_fib(make_machine("ideal", 2), n=0, threshold=5)[0] == 0
+
+
+# --------------------------------------------------------------------- primes
+def test_primes_seq_known_values():
+    assert primes_seq(10)[0] == 4        # 2 3 5 7
+    assert primes_seq(100)[0] == 25
+    assert primes_seq(2)[0] == 0
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("symmetry", 8), ("ncube2", 16),
+])
+def test_primes_parallel_matches(machine_name, pes):
+    count, _ = run_primes(make_machine(machine_name, pes), limit=3000, chunks=32)
+    assert count == primes_seq(3000)[0]
+
+
+@pytest.mark.parametrize("chunks", [1, 3, 17, 100])
+def test_primes_chunking_invariant(chunks):
+    count, _ = run_primes(make_machine("ipsc2", 8), limit=1000, chunks=chunks)
+    assert count == primes_seq(1000)[0]
+
+
+def test_primes_pinned_round_robin():
+    count, result = run_primes(
+        make_machine("ipsc2", 4), limit=2000, chunks=8, pin=True
+    )
+    assert count == primes_seq(2000)[0]
+    # Pinned: every PE executed exactly 2 of the 8 workers.
+    per_pe = [r.seeds_executed for r in result.stats.pe_rows]
+    assert per_pe[0] == 2 + 1  # + main
+    assert per_pe[1:] == [2, 2, 2]
+
+
+def test_primes_pinning_shows_static_imbalance():
+    """Higher ranges cost more divisions: pinned equal ranges are imbalanced,
+    dynamic placement (random) isn't structurally skewed the same way."""
+    _, pinned = run_primes(
+        make_machine("ipsc2", 8), limit=20000, chunks=8, pin=True
+    )
+    busy = [r.busy_time for r in pinned.stats.pe_rows]
+    assert max(busy) > 1.5 * min(b for b in busy if b > 0)

@@ -1,0 +1,90 @@
+"""Jacobi and matmul (static data-parallel) application tests."""
+
+import numpy as np
+import pytest
+
+from repro import make_machine
+from repro.apps.jacobi import jacobi_seq, make_grid, run_jacobi
+from repro.apps.matmul import run_matmul
+
+
+# --------------------------------------------------------------------- jacobi
+def test_reference_keeps_boundary_fixed():
+    grid, _ = jacobi_seq(8, 5)
+    assert np.all(grid[0, :] == 100.0)
+    assert np.all(grid[-1, :] == -100.0)
+    assert np.all(grid[1:-1, 0] == make_grid(8)[1:-1, 0])
+
+
+def test_reference_converges_toward_linear_profile():
+    grid, residual = jacobi_seq(8, 400)
+    assert residual < 1e-2
+    middle_top = grid[1, 4]
+    middle_bottom = grid[-2, 4]
+    assert middle_top > 0 > middle_bottom
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("ideal", 4), ("symmetry", 8), ("ipsc2", 16),
+])
+def test_blocks_match_reference_exactly(machine_name, pes):
+    (grid, residual), _ = run_jacobi(
+        make_machine(machine_name, pes), n=16, blocks=4, iterations=7
+    )
+    ref_grid, ref_residual = jacobi_seq(16, 7)
+    assert np.array_equal(grid, ref_grid)
+    assert residual == pytest.approx(ref_residual)
+
+
+@pytest.mark.parametrize("blocks", [1, 2, 4, 8])
+def test_block_count_invariant(blocks):
+    (grid, _), _ = run_jacobi(
+        make_machine("ipsc2", 4), n=16, blocks=blocks, iterations=5
+    )
+    assert np.array_equal(grid, jacobi_seq(16, 5)[0])
+
+
+def test_zero_iterations_returns_initial_grid():
+    (grid, residual), _ = run_jacobi(
+        make_machine("ideal", 4), n=8, blocks=2, iterations=0
+    )
+    assert np.array_equal(grid, make_grid(8))
+
+
+def test_indivisible_grid_rejected():
+    with pytest.raises(Exception):
+        run_jacobi(make_machine("ideal", 4), n=10, blocks=3, iterations=1)
+
+
+def test_more_iterations_cost_more_time():
+    _, r5 = run_jacobi(make_machine("ipsc2", 4), n=16, blocks=4, iterations=5)
+    _, r10 = run_jacobi(make_machine("ipsc2", 4), n=16, blocks=4, iterations=10)
+    assert r10.time > r5.time
+
+
+# --------------------------------------------------------------------- matmul
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("symmetry", 4), ("ipsc2", 16),
+])
+def test_matmul_matches_numpy(machine_name, pes):
+    (a, b, c), _ = run_matmul(make_machine(machine_name, pes), n=32, g=4)
+    assert np.allclose(c, a @ b)
+
+
+@pytest.mark.parametrize("g", [1, 2, 8])
+def test_matmul_block_grid_invariant(g):
+    (a, b, c), _ = run_matmul(make_machine("ipsc2", 4), n=16, g=g)
+    assert np.allclose(c, a @ b)
+
+
+def test_matmul_indivisible_rejected():
+    with pytest.raises(Exception):
+        run_matmul(make_machine("ideal", 2), n=10, g=3)
+
+
+def test_matmul_data_movement_dominates_on_slow_network():
+    """Same computation, much slower wire: time must rise (beta term)."""
+    _, fast = run_matmul(make_machine("cluster", 4), n=32, g=4)
+    _, slow = run_matmul(make_machine("ipsc2", 4), n=32, g=4)
+    assert slow.time > fast.time
+    assert slow.stats.total_bytes_sent == fast.stats.total_bytes_sent

@@ -1,0 +1,81 @@
+"""N-queens application tests."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.nqueens import nqueens_seq, run_nqueens
+
+KNOWN = {4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+
+
+@pytest.mark.parametrize("n,expected", sorted(KNOWN.items()))
+def test_sequential_reference_known_counts(n, expected):
+    solutions, nodes = nqueens_seq(n)
+    assert solutions == expected
+    assert nodes >= solutions
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("ideal", 4), ("symmetry", 8), ("ipsc2", 16), ("ncube2", 32),
+])
+def test_parallel_matches_reference(machine_name, pes):
+    (solutions, nodes), _ = run_nqueens(make_machine(machine_name, pes), n=7)
+    ref_solutions, ref_nodes = nqueens_seq(7)
+    assert solutions == ref_solutions
+    assert nodes == ref_nodes
+
+
+@pytest.mark.parametrize("grainsize", [1, 2, 4, 7, 10])
+def test_grainsize_does_not_change_answer(grainsize):
+    machine = make_machine("ipsc2", 8)
+    (solutions, nodes), _ = run_nqueens(machine, n=7, grainsize=grainsize)
+    assert (solutions, nodes) == nqueens_seq(7)
+
+
+def test_grainsize_covering_whole_board_is_sequential():
+    machine = make_machine("ideal", 4)
+    (solutions, _), result = run_nqueens(machine, n=6, grainsize=6)
+    assert solutions == 4
+    # Root chare solves everything: exactly one worker seed.
+    seeds = sum(r.seeds_executed for r in result.stats.pe_rows)
+    assert seeds == 2  # main + root
+
+
+@pytest.mark.parametrize("queueing", ["fifo", "lifo", "prio", "bitprio"])
+def test_all_queueing_strategies_correct(queueing):
+    machine = make_machine("ipsc2", 8)
+    (solutions, nodes), _ = run_nqueens(
+        machine, n=7, queueing=queueing, use_priorities=(queueing == "bitprio")
+    )
+    assert (solutions, nodes) == nqueens_seq(7)
+
+
+def test_bitvector_priorities_bound_pool_growth():
+    """Bit-prioritized execution approximates sequential order: the pool of
+    pending work stays smaller than breadth-first FIFO expansion."""
+    machine_f = make_machine("ideal", 2)
+    (_, _), fifo = run_nqueens(machine_f, n=8, grainsize=2, queueing="fifo")
+    machine_b = make_machine("ideal", 2)
+    (_, _), bitp = run_nqueens(
+        machine_b, n=8, grainsize=2, queueing="bitprio", use_priorities=True
+    )
+    fifo_peak = max(r.max_pool for r in fifo.stats.pe_rows)
+    bit_peak = max(r.max_pool for r in bitp.stats.pe_rows)
+    assert bit_peak < fifo_peak
+
+
+def test_smaller_grain_more_messages():
+    m1 = make_machine("ideal", 4)
+    m2 = make_machine("ideal", 4)
+    _, fine = run_nqueens(m1, n=7, grainsize=1)
+    _, coarse = run_nqueens(m2, n=7, grainsize=5)
+    assert fine.stats.total_msgs_executed > coarse.stats.total_msgs_executed
+
+
+def test_trivial_boards():
+    machine = make_machine("ideal", 2)
+    (solutions, _), _ = run_nqueens(machine, n=2, grainsize=1)
+    assert solutions == 0
+    machine = make_machine("ideal", 2)
+    (solutions, _), _ = run_nqueens(machine, n=1, grainsize=1)
+    assert solutions == 1

@@ -1,0 +1,110 @@
+"""Sliding-tile IDA* application tests."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.puzzle import (
+    _epoch_min,
+    goal_state,
+    ida_star_seq,
+    manhattan,
+    neighbors,
+    random_puzzle,
+    run_puzzle,
+)
+
+
+# ------------------------------------------------------------------ primitives
+def test_goal_state_shape():
+    assert goal_state(3) == (1, 2, 3, 4, 5, 6, 7, 8, 0)
+    assert manhattan(goal_state(3), 3) == 0
+    assert manhattan(goal_state(4), 4) == 0
+
+
+def test_manhattan_single_move():
+    board = (1, 2, 3, 4, 5, 6, 7, 0, 8)  # 8 one step left of home
+    assert manhattan(board, 3) == 1
+
+
+def test_neighbors_counts():
+    corner = goal_state(3)  # blank bottom-right
+    assert len(neighbors(corner, 3)) == 2
+    center = (1, 2, 3, 4, 0, 5, 6, 7, 8)
+    assert len(neighbors(center, 3)) == 4
+
+
+def test_neighbors_are_reversible():
+    board = random_puzzle(3, 10, seed=4)
+    for nb in neighbors(board, 3):
+        assert board in neighbors(nb, 3)
+
+
+def test_random_puzzle_deterministic_and_solvable():
+    a = random_puzzle(3, 20, seed=1)
+    b = random_puzzle(3, 20, seed=1)
+    assert a == b
+    cost, rounds, nodes = ida_star_seq(a, 3)
+    assert 0 <= cost <= 20
+    assert rounds >= 1 and nodes >= 1
+
+
+def test_epoch_min_combiner_laws():
+    assert _epoch_min((2, 5), (1, 1)) == (2, 5)       # newer round wins
+    assert _epoch_min((2, 5), (2, 3)) == (2, 3)       # min within round
+    assert _epoch_min((1, 4), (2, 9)) == _epoch_min((2, 9), (1, 4))  # comm.
+    a, b, c = (1, 7), (2, 9), (2, 4)
+    assert _epoch_min(_epoch_min(a, b), c) == _epoch_min(a, _epoch_min(b, c))
+
+
+def test_seq_already_solved():
+    assert ida_star_seq(goal_state(3), 3)[0] == 0
+
+
+# -------------------------------------------------------------------- parallel
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("symmetry", 4), ("ipsc2", 16),
+])
+def test_parallel_cost_and_rounds_match(machine_name, pes):
+    board = random_puzzle(3, 18, seed=3)
+    cost, rounds, _ = ida_star_seq(board, 3)
+    (pcost, prounds, pnodes), _ = run_puzzle(
+        make_machine(machine_name, pes), board
+    )
+    assert (pcost, prounds) == (cost, rounds)
+    assert pnodes >= 1
+
+
+@pytest.mark.parametrize("split", [0, 2, 6, 50])
+def test_split_grain_invariant(split):
+    board = random_puzzle(3, 14, seed=5)
+    cost, rounds, _ = ida_star_seq(board, 3)
+    (pcost, prounds, _), _ = run_puzzle(
+        make_machine("ipsc2", 8), board, split=split
+    )
+    assert (pcost, prounds) == (cost, rounds)
+
+
+@pytest.mark.parametrize("queueing", ["fifo", "lifo", "prio"])
+def test_queueing_invariant(queueing):
+    board = random_puzzle(3, 16, seed=7)
+    cost, rounds, _ = ida_star_seq(board, 3)
+    (pcost, prounds, _), _ = run_puzzle(
+        make_machine("ipsc2", 8), board, queueing=queueing
+    )
+    assert (pcost, prounds) == (cost, rounds)
+
+
+def test_solved_board_costs_zero():
+    (cost, rounds, nodes), _ = run_puzzle(make_machine("ideal", 4), goal_state(3))
+    assert cost == 0
+    assert rounds == 1
+
+
+def test_multiple_rounds_reuse_quiescence():
+    board = random_puzzle(3, 24, seed=2)
+    cost, rounds, _ = ida_star_seq(board, 3)
+    assert rounds >= 3  # the point of this instance
+    (pcost, prounds, _), result = run_puzzle(make_machine("ipsc2", 8), board)
+    assert (pcost, prounds) == (cost, rounds)
+    # QD ran once per round at minimum.
+    assert result.stats.qd_waves >= rounds

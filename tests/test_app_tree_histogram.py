@@ -1,0 +1,81 @@
+"""Synthetic-tree and histogram (distributed table) application tests."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.histogram import run_histogram
+from repro.apps.tree import TreeParams, run_tree, tree_seq
+
+
+# ----------------------------------------------------------------------- tree
+def test_tree_shape_deterministic():
+    params = TreeParams(seed=3, max_depth=8)
+    assert tree_seq(params) == tree_seq(params)
+
+
+def test_tree_seed_changes_shape():
+    a = tree_seq(TreeParams(seed=1, max_depth=9))
+    b = tree_seq(TreeParams(seed=2, max_depth=9))
+    assert a != b
+
+
+def test_tree_depth_zero_is_single_leaf():
+    assert tree_seq(TreeParams(seed=0, max_depth=0)) == (1, 1)
+
+
+@pytest.mark.parametrize("balancer", ["local", "random", "central", "token", "acwn"])
+def test_tree_parallel_counts_match(balancer):
+    params = TreeParams(seed=5, max_depth=9, max_fanout=4, branch_bias=0.95)
+    expected = tree_seq(params)
+    answer, _ = run_tree(make_machine("ipsc2", 8), params, balancer=balancer)
+    assert answer == expected
+
+
+def test_tree_nodes_bound_leaves():
+    params = TreeParams(seed=12, max_depth=10)
+    nodes, leaves = tree_seq(params)
+    assert 1 <= leaves <= nodes
+
+
+def test_tree_balancing_beats_local_on_time():
+    params = TreeParams(seed=7, max_depth=10, max_fanout=5, branch_bias=0.96)
+    _, local = run_tree(make_machine("ipsc2", 8), params, balancer="local")
+    _, acwn = run_tree(make_machine("ipsc2", 8), params, balancer="acwn")
+    assert acwn.time < local.time
+
+
+# ------------------------------------------------------------------ histogram
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 1), ("symmetry", 4), ("ipsc2", 8),
+])
+def test_histogram_roundtrip_no_mismatches(machine_name, pes):
+    (inserted, found, bad), _ = run_histogram(
+        make_machine(machine_name, pes), items=80, workers=5
+    )
+    assert inserted == found == 80
+    assert bad == 0
+
+
+def test_histogram_more_workers_than_items():
+    (inserted, found, bad), _ = run_histogram(
+        make_machine("ideal", 4), items=3, workers=8
+    )
+    assert inserted == found == 3
+    assert bad == 0
+
+
+def test_histogram_throughput_improves_with_pes():
+    _, r1 = run_histogram(make_machine("ipsc2", 1), items=128, workers=8)
+    _, r8 = run_histogram(make_machine("ipsc2", 8), items=128, workers=8)
+    assert r8.time < r1.time
+
+
+def test_histogram_shards_are_populated():
+    (_, _, bad), result = run_histogram(
+        make_machine("ipsc2", 8), items=64, workers=4
+    )
+    assert bad == 0
+    kernel = result.kernel
+    sizes = [len(kernel.sharing.shard("hist", pe)) for pe in range(8)]
+    assert sum(sizes) == 64
+    assert sum(1 for s in sizes if s > 0) >= 3

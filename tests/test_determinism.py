@@ -1,0 +1,57 @@
+"""Whole-run determinism: the simulator is a pure function of its inputs."""
+
+import pytest
+
+from repro import make_machine
+from repro.apps.nqueens import run_nqueens
+from repro.apps.tree import TreeParams, run_tree
+from repro.apps.tsp import TspInstance, run_tsp
+
+
+def _fingerprint(result):
+    st = result.stats
+    return (
+        result.time,
+        result.events,
+        st.counted_sent,
+        st.total_bytes_sent,
+        tuple(round(r.busy_time, 15) for r in st.pe_rows),
+    )
+
+
+@pytest.mark.parametrize("balancer", ["random", "acwn", "token", "central"])
+def test_identical_runs_identical_traces(balancer):
+    a = run_nqueens(make_machine("ipsc2", 8), n=7, balancer=balancer, seed=9)[1]
+    b = run_nqueens(make_machine("ipsc2", 8), n=7, balancer=balancer, seed=9)[1]
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_seed_changes_schedule_not_answer():
+    answers = set()
+    times = set()
+    for seed in range(5):
+        (sol, nodes), result = run_nqueens(
+            make_machine("ipsc2", 8), n=7, balancer="random", seed=seed
+        )
+        answers.add((sol, nodes))
+        times.add(result.time)
+    assert len(answers) == 1
+    assert len(times) > 1
+
+
+def test_tsp_trace_deterministic():
+    inst = TspInstance.random(8, seed=2)
+    a = run_tsp(make_machine("symmetry", 8), inst, seed=4)[1]
+    b = run_tsp(make_machine("symmetry", 8), inst, seed=4)[1]
+    assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_tree_trace_deterministic_across_strategies():
+    params = TreeParams(seed=3, max_depth=9)
+    for balancer in ("random", "acwn"):
+        for queueing in ("fifo", "lifo"):
+            a = run_tree(make_machine("ncube2", 16), params,
+                         balancer=balancer, queueing=queueing, seed=1)[1]
+            b = run_tree(make_machine("ncube2", 16), params,
+                         balancer=balancer, queueing=queueing, seed=1)[1]
+            assert _fingerprint(a) == _fingerprint(b)

@@ -1,0 +1,166 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Engine
+from repro.util.errors import SchedulingError
+
+
+def test_runs_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(3.0, lambda: fired.append(3))
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(2.0, lambda: fired.append(2))
+    eng.run()
+    assert fired == [1, 2, 3]
+    assert eng.now == 3.0
+
+
+def test_equal_times_fire_in_schedule_order():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(1.0, lambda i=i: fired.append(i))
+    eng.run()
+    assert fired == list(range(10))
+
+
+def test_schedule_after_is_relative():
+    eng = Engine()
+    times = []
+    eng.schedule(5.0, lambda: eng.schedule_after(2.5, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [7.5]
+
+
+def test_schedule_in_past_raises():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SchedulingError):
+        eng.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SchedulingError):
+        eng.schedule_after(-1.0, lambda: None)
+
+
+def test_cancel_skips_event():
+    eng = Engine()
+    fired = []
+    ev = eng.schedule(1.0, lambda: fired.append("a"))
+    eng.schedule(2.0, lambda: fired.append("b"))
+    ev.cancel()
+    eng.run()
+    assert fired == ["b"]
+
+
+def test_events_can_schedule_at_current_time():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: eng.schedule(1.0, lambda: fired.append("nested")))
+    eng.run()
+    assert fired == ["nested"]
+    assert eng.now == 1.0
+
+
+def test_run_until_horizon_inclusive():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(2.0, lambda: fired.append(2))
+    eng.schedule(3.0, lambda: fired.append(3))
+    eng.run(until=2.0)
+    assert fired == [1, 2]
+    assert eng.now == 2.0
+    eng.run()
+    assert fired == [1, 2, 3]
+
+
+def test_run_max_events_budget():
+    eng = Engine()
+    fired = []
+    for i in range(5):
+        eng.schedule(float(i), lambda i=i: fired.append(i))
+    eng.run(max_events=2)
+    assert fired == [0, 1]
+    eng.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_step_returns_false_when_drained():
+    eng = Engine()
+    assert eng.step() is False
+    eng.schedule(1.0, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_events_fired_counter():
+    eng = Engine()
+    for i in range(7):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert eng.events_fired == 7
+
+
+def test_pending_excludes_cancelled():
+    eng = Engine()
+    ev1 = eng.schedule(1.0, lambda: None)
+    eng.schedule(2.0, lambda: None)
+    ev1.cancel()
+    assert eng.pending == 1
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            eng.run()
+        except SchedulingError as exc:
+            errors.append(exc)
+
+    eng.schedule(1.0, reenter)
+    eng.run()
+    assert len(errors) == 1
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=60))
+def test_property_fires_in_nondecreasing_time(times):
+    eng = Engine()
+    observed = []
+    for t in times:
+        eng.schedule(t, lambda: observed.append(eng.now))
+    eng.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_property_chained_relative_delays_accumulate(pairs):
+    eng = Engine()
+    hits = []
+    for base, delta in pairs:
+        eng.schedule(
+            base,
+            lambda base=base, delta=delta: eng.schedule_after(
+                delta, lambda: hits.append(eng.now)
+            ),
+        )
+    eng.run()
+    assert len(hits) == len(pairs)
+    assert hits == sorted(hits)

@@ -1,0 +1,124 @@
+"""Integration tests: every experiment runs (quick scale) and its claim
+shape — the thing the reproduction is *for* — holds."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.harness import measure, speedup_sweep
+from repro.util.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at quick scale; share across tests."""
+    return {exp_id: run_experiment(exp_id, scale="quick") for exp_id in EXPERIMENTS}
+
+
+def test_all_experiments_produce_tables(results):
+    for exp_id, res in results.items():
+        assert res.exp_id.lower() == exp_id
+        assert res.text.strip()
+        assert res.data
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        run_experiment("t99")
+
+
+def test_t2_shared_memory_speedup_shapes(results):
+    apps = results["t2"].data["apps"]
+    for name, d in apps.items():
+        speedups = d["speedups"]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[1] > 1.2, f"{name} gained nothing from 2 PEs"
+        # Coarse tree programs keep scaling; nothing exceeds linear by much.
+        for p, s in zip(results["t2"].data["pes"], speedups):
+            assert s <= p * 1.5
+
+
+def test_t3_hypercube_latency_hurts_vs_bus(results):
+    t2 = results["t2"].data["apps"]
+    t3 = results["t3"].data["apps"]
+    # At equal P=4, the fine-grain queens program does no better on the
+    # high-latency hypercube than on the bus machine.
+    s_bus = t2["queens"]["speedups"][results["t2"].data["pes"].index(4)]
+    s_cube = t3["queens"]["speedups"][results["t3"].data["pes"].index(4)]
+    assert s_cube <= s_bus + 0.3
+
+
+def test_t4_tree_scales_to_large_p(results):
+    tree = results["t4"].data["apps"]["tree"]["speedups"]
+    assert tree[-1] > tree[1]
+
+
+def test_t5_balancing_beats_no_balancing(results):
+    d = results["t5"].data
+    assert d["local"]["time"] > 2 * d["acwn"]["time"]
+    assert d["local"]["time"] > 2 * d["random"]["time"]
+    assert d["acwn"]["imbalance"] < d["local"]["imbalance"]
+    # ACWN ships fewer seeds around than blind random placement.
+    assert d["acwn"]["remote_seeds"] < d["random"]["remote_seeds"]
+
+
+def test_t6_priority_expands_fewest_nodes(results):
+    d = results["t6"].data
+    assert d["('knapsack', 'prio')"]["nodes"] <= d["('knapsack', 'fifo')"]["nodes"]
+    # All strategies find the same optimum.
+    bests = {v["best"] for k, v in d.items() if "tsp" in k}
+    assert len(bests) == 1
+
+
+def test_t7_sharing_prunes(results):
+    d = results["t7"].data
+    assert d["off"]["nodes"] >= d["eager"]["nodes"]
+    assert d["off"]["msgs"] == 0
+    assert d["eager"]["msgs"] > 0
+    assert d["eager"]["best"] == d["off"]["best"] == d["lazy"]["best"]
+
+
+def test_t8_throughput_scales(results):
+    d = results["t8"].data
+    ps = sorted(d)
+    assert d[ps[-1]]["time"] < d[ps[0]]["time"]
+
+
+def test_t9_latency_nonnegative_and_bounded(results):
+    d = results["t9"].data
+    for p, row in d.items():
+        assert row["latency"] >= 0
+        assert row["waves"] >= 2
+
+
+def test_f1_series_complete(results):
+    data = results["f1"].data
+    assert any(k.startswith("queens@") for k in data)
+    for series in data.values():
+        assert series[0] == pytest.approx(1.0)
+
+
+def test_f2_efficiency_decreases_with_tiny_grain(results):
+    q = results["f2"].data["queens"]
+    grains = sorted(q)
+    # Efficiency at the coarsest measured grain is lower than at the knee
+    # (too few chares), and mid grains beat the extremes on this size.
+    assert max(q.values()) <= 1.1
+
+
+def test_f3_balancers_flatten_utilization(results):
+    d = results["f3"].data
+    spread = lambda utils: max(utils) - min(utils)
+    assert spread(d["acwn"]) < spread(d["local"])
+
+
+# --------------------------------------------------------------- harness unit
+def test_measure_unknown_app():
+    with pytest.raises(ConfigurationError):
+        measure("doom", "ideal", 2)
+
+
+def test_sweep_consistency_flag():
+    sweep = speedup_sweep("queens", "ideal", [1, 2], n=6, grainsize=2)
+    assert sweep.consistent()
+    assert sweep.speedups[0] == pytest.approx(1.0)
+    assert len(sweep.efficiencies) == 2

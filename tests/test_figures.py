@@ -1,0 +1,45 @@
+"""ASCII chart renderer tests."""
+
+from repro.bench.figures import render_chart
+
+
+def test_empty_chart():
+    assert render_chart({}) == "(empty chart)"
+
+
+def test_single_series_axes_and_legend():
+    text = render_chart(
+        {"s": [(1, 1.0), (2, 2.0), (4, 3.5)]},
+        title="T", x_label="P", y_label="S",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "3.50" in lines[1]          # y max on top axis row
+    assert "1.00" in text              # y min
+    assert "(P vs S)" in text
+    assert "o s" in text               # legend mark
+
+
+def test_marks_distinct_per_series():
+    text = render_chart({"a": [(0, 0)], "b": [(1, 1)], "c": [(2, 2)]})
+    assert "o a" in text and "x b" in text and "* c" in text
+
+
+def test_flat_series_does_not_crash():
+    text = render_chart({"flat": [(1, 2.0), (2, 2.0), (3, 2.0)]})
+    assert "flat" in text
+
+
+def test_extreme_points_land_on_edges():
+    text = render_chart({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=6)
+    rows = [line for line in text.splitlines() if "┤" in line or "│" in line]
+    # min point bottom-left, max point top-right
+    assert rows[0].rstrip().endswith("o")
+    assert rows[-1].split("┤")[1].startswith("o")
+
+
+def test_points_within_grid_bounds():
+    series = {"z": [(x, x * x) for x in range(8)]}
+    text = render_chart(series, width=30, height=10)
+    for line in text.splitlines():
+        assert len(line) < 50

@@ -1,0 +1,82 @@
+"""Cross-feature interplay: combinations the single-feature tests skip."""
+
+import numpy as np
+import pytest
+
+from repro import make_machine
+from repro.apps.jacobi import jacobi_seq, run_jacobi
+from repro.apps.nqueens import nqueens_seq, run_nqueens
+from repro.apps.histogram import run_histogram
+from repro.apps.tsp import TspInstance, tsp_seq, run_tsp
+
+
+@pytest.mark.parametrize("balancer", ["local", "roundrobin", "central",
+                                      "token", "acwn", "gradient"])
+def test_branch_and_bound_correct_under_every_balancer(balancer):
+    """Work stealing reorders/migrates prioritized seeds; the optimum must
+    survive any such reshuffling."""
+    inst = TspInstance.random(8, 2)
+    best_ref, _ = tsp_seq(inst)
+    (best, _, _), _ = run_tsp(make_machine("ipsc2", 8), inst,
+                              balancer=balancer)
+    assert best == best_ref
+
+
+@pytest.mark.parametrize("queueing", ["priolifo", "bitprio"])
+@pytest.mark.parametrize("balancer", ["token", "acwn"])
+def test_queens_with_exotic_queue_and_stealing(queueing, balancer):
+    (solutions, nodes), _ = run_nqueens(
+        make_machine("ncube2", 8), n=7, queueing=queueing, balancer=balancer,
+        use_priorities=(queueing == "bitprio"),
+    )
+    assert (solutions, nodes) == nqueens_seq(7)
+
+
+@pytest.mark.parametrize("tree_name", ["rank", "binomial"])
+def test_jacobi_exact_under_both_spanning_trees(tree_name):
+    (grid, _), _ = run_jacobi(
+        make_machine("ipsc2", 16), n=16, blocks=4, iterations=5,
+        spanning_tree=tree_name,
+    )
+    assert np.array_equal(grid, jacobi_seq(16, 5)[0])
+
+
+def test_table_ops_with_binomial_tree_and_contention():
+    machine = make_machine("ipsc2", 16)
+    machine.params = machine.params.scaled(link_bandwidth=2.8e6)
+    (ins, found, bad), _ = run_histogram(
+        machine, items=64, workers=8, spanning_tree="binomial"
+    )
+    assert (ins, found, bad) == (64, 64, 0)
+
+
+def test_fuzz_program_on_heterogeneous_machine():
+    from tests.test_fuzz_runtime import FuzzMain, _expected
+
+    from repro import Kernel
+
+    for shape_seed in (5, 99):
+        result = Kernel(make_machine("hetero", 8), balancer="acwn").run(
+            FuzzMain, shape_seed
+        )
+        assert result.result == _expected(shape_seed)
+
+
+def test_contention_plus_hetero_plus_stealing():
+    """Pile every optional model on at once: still exact."""
+    machine = make_machine("hetero", 8)
+    # hetero is a crossbar (no routes), so contention silently no-ops;
+    # use it anyway to prove the combination is safe.
+    machine.params = machine.params.scaled(link_bandwidth=1e6)
+    (solutions, nodes), _ = run_nqueens(
+        machine, n=7, balancer="token", queueing="prio"
+    )
+    assert (solutions, nodes) == nqueens_seq(7)
+
+
+def test_strip_arrays_checksums():
+    from repro.bench.harness import _strip_arrays
+
+    arr = np.arange(6, dtype=float).reshape(2, 3)
+    tag = _strip_arrays((1, arr))
+    assert tag == (1, ("ndarray", (2, 3), 15.0))

@@ -1,0 +1,202 @@
+"""Miscellaneous kernel edge cases and cross-cutting behaviors."""
+
+import pytest
+
+from repro import Chare, Kernel, entry, make_machine
+from repro.core.handles import ChareHandle
+from repro.util.errors import RoutingError
+
+
+def test_send_to_never_created_handle_raises(ideal4):
+    class Main(Chare):
+        def __init__(self):
+            self.send(ChareHandle(12345), "anything")
+
+    with pytest.raises(RoutingError):
+        Kernel(ideal4).run(Main)
+
+
+def test_send_branch_to_invalid_pe_raises(ideal4):
+    from repro import BranchOfficeChare
+
+    class B(BranchOfficeChare):
+        def __init__(self):
+            pass
+
+    class Main(Chare):
+        def __init__(self):
+            boc = self.create_boc(B)
+            self.send_branch(boc, 99, "whatever")
+
+    with pytest.raises(RoutingError):
+        Kernel(ideal4).run(Main)
+
+
+def test_handles_usable_as_dict_keys(ideal4):
+    class Child(Chare):
+        def __init__(self, main):
+            self.send(main, "from_child", self.thishandle)
+
+    class Main(Chare):
+        def __init__(self):
+            self.seen = {}
+            self.h1 = self.create(Child, self.thishandle, pe=1)
+            self.h2 = self.create(Child, self.thishandle, pe=2)
+
+        @entry
+        def from_child(self, handle):
+            self.seen[handle] = True
+            if len(self.seen) == 2:
+                self.exit(set(self.seen) == {self.h1, self.h2})
+
+    assert Kernel(ideal4).run(Main).result is True
+
+
+def test_priorities_on_regular_messages(ideal4):
+    """Priorities order messages to *existing* chares, not only seeds."""
+    order = []
+
+    class Sink(Chare):
+        def __init__(self, main):
+            self.main = main
+            self.send(main, "ready")
+
+        @entry
+        def block(self):
+            # Keep the PE busy so the tagged messages pile up in the pool
+            # (on an idle PE each would execute the instant it arrived).
+            self.charge(1000)
+
+        @entry
+        def tagged(self, label):
+            order.append(label)
+            if len(order) == 3:
+                self.send(self.main, "finish")
+
+    class Main(Chare):
+        def __init__(self):
+            self.sink = self.create(Sink, self.thishandle, pe=1)
+
+        @entry
+        def ready(self):
+            self.send(self.sink, "block")
+            # All three depart together and queue behind 'block'; the
+            # sink's pool must reorder them.
+            self.send(self.sink, "tagged", "low", priority=30)
+            self.send(self.sink, "tagged", "high", priority=1)
+            self.send(self.sink, "tagged", "mid", priority=10)
+
+        @entry
+        def finish(self):
+            self.exit(tuple(order))
+
+    machine = make_machine("ideal", 2)
+    result = Kernel(machine, queueing="prio").run(Main)
+    assert result.result == ("high", "mid", "low")
+
+
+def test_priolifo_end_to_end(ideal4):
+    order = []
+
+    class Sink(Chare):
+        def __init__(self, main):
+            self.main = main
+            self.send(main, "ready")
+
+        @entry
+        def block(self):
+            self.charge(1000)
+
+        @entry
+        def tagged(self, label):
+            order.append(label)
+            if len(order) == 4:
+                self.exit(tuple(order))
+
+    class Main(Chare):
+        def __init__(self):
+            self.sink = self.create(Sink, self.thishandle, pe=1)
+
+        @entry
+        def ready(self):
+            self.send(self.sink, "block")
+            self.send(self.sink, "tagged", "a5", priority=5)
+            self.send(self.sink, "tagged", "b5", priority=5)
+            self.send(self.sink, "tagged", "a1", priority=1)
+            self.send(self.sink, "tagged", "b1", priority=1)
+
+    machine = make_machine("ideal", 2)
+    result = Kernel(machine, queueing="priolifo").run(Main)
+    # Within equal priority: most recent first (LIFO).
+    assert result.result == ("b1", "a1", "b5", "a5")
+
+
+def test_main_ctor_charge_occupies_pe0(ideal4):
+    class Busy(Chare):
+        def __init__(self):
+            self.charge(12345)
+            self.exit(None)
+
+    result = Kernel(ideal4).run(Busy)
+    assert result.stats.pe_rows[0].busy_time == pytest.approx(12345e-6)
+
+
+def test_kernel_exposes_services(ideal4):
+    kernel = Kernel(ideal4)
+    assert set(kernel.services) == {"share", "qd", "lb"}
+    assert kernel.tree.num_pes == 4
+
+
+def test_spanning_tree_param_validated(ideal4):
+    from repro.util.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Kernel(ideal4, spanning_tree="moebius")
+
+
+def test_timeline_kind_filter(ipsc8):
+    from tests.conftest import run_echo
+
+    result = run_echo(ipsc8, n=16, seed=1, timeline=True)
+    tl = result.kernel.timeline
+    app_only = tl.utilization_profile(buckets=8, kinds={"app", "seed"})
+    everything = tl.utilization_profile(buckets=8)
+    assert all(a <= e + 1e-12 for a, e in zip(app_only, everything))
+
+
+def test_timeline_json_roundtrip(tmp_path, ipsc8):
+    import json
+
+    from tests.conftest import run_echo
+
+    result = run_echo(ipsc8, n=8, seed=1, timeline=True)
+    path = tmp_path / "tl.json"
+    count = result.kernel.timeline.dump_json(str(path))
+    records = json.loads(path.read_text())
+    assert len(records) == count > 0
+    assert {"pe", "start", "duration", "kind", "label"} <= set(records[0])
+
+
+def test_bus_saturation_flattens_speedup():
+    """The symmetry preset's bus cap must actually bite at high P."""
+    from repro.apps.matmul import run_matmul
+
+    _, r8 = run_matmul(make_machine("symmetry", 8), n=48, g=4)
+    _, r16 = run_matmul(make_machine("symmetry", 16), n=48, g=4)
+    # Data-heavy matmul gains little beyond bus saturation.
+    assert r16.time > 0.5 * r8.time
+
+
+def test_two_kernels_are_isolated(ideal4):
+    class Main(Chare):
+        def __init__(self):
+            self.new_accumulator("x", 0, "sum")
+            self.accumulate("x", 1)
+            self.exit(None)
+
+    k1 = Kernel(make_machine("ideal", 2))
+    k2 = Kernel(make_machine("ideal", 2))
+    k1.run(Main)
+    k2.run(Main)
+    assert k1.sharing.accumulator_partial("x", 0) == 1
+    assert k2.sharing.accumulator_partial("x", 0) == 1

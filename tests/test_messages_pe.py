@@ -1,0 +1,144 @@
+"""Unit tests for envelopes, the rank tree, and per-PE scheduler state."""
+
+from repro.core.handles import BocHandle, ChareHandle
+from repro.core.messages import Envelope, HEADER_BYTES, Kind
+from repro.core.pe import PEState
+from repro.core.tree import subtree_size, tree_children, tree_parent
+
+
+# ---------------------------------------------------------------- envelopes
+def test_envelope_size_includes_header_and_payload():
+    env = Envelope(kind=Kind.APP, src_pe=0, dst_pe=1, entry="go", args=(1, 2.0))
+    assert env.nbytes == HEADER_BYTES + 4 + 16
+
+
+def test_envelope_size_cached():
+    env = Envelope(kind=Kind.APP, src_pe=0, dst_pe=1, entry="go", args=("x",))
+    first = env.nbytes
+    assert env.nbytes == first
+
+
+def test_seed_size_includes_class_name():
+    class Worker:
+        pass
+
+    env = Envelope(
+        kind=Kind.SEED, src_pe=0, dst_pe=1, entry="__init__", chare_cls=Worker
+    )
+    assert env.nbytes == HEADER_BYTES + 4 + len("Worker")
+
+
+def test_forwarded_seed_bumps_hops_and_suppresses_count():
+    env = Envelope(
+        kind=Kind.SEED, src_pe=0, dst_pe=3, entry="__init__",
+        handle=ChareHandle(5), hops=1,
+    )
+    fwd = env.forwarded(6)
+    assert (fwd.src_pe, fwd.dst_pe, fwd.hops) == (3, 6, 2)
+    assert fwd.suppress_sent_count
+    assert fwd.uid != env.uid
+    assert fwd.handle == env.handle
+    assert not env.suppress_sent_count
+
+
+def test_envelope_repr_mentions_kind():
+    env = Envelope(kind=Kind.BOC, src_pe=0, dst_pe=1, entry="e", boc=BocHandle(2))
+    assert "boc" in repr(env)
+
+
+def test_handles_have_fixed_wire_size():
+    assert ChareHandle(1).__wire_size__() == 12
+    assert BocHandle(1).__wire_size__() == 12
+
+
+# ---------------------------------------------------------------- rank tree
+def test_tree_parent_child_inverse():
+    n = 23
+    for rank in range(1, n):
+        assert rank in tree_children(tree_parent(rank), n)
+    for rank in range(n):
+        for child in tree_children(rank, n):
+            assert tree_parent(child) == rank
+
+
+def test_tree_root_has_no_parent():
+    assert tree_parent(0) is None
+
+
+def test_subtree_sizes_sum():
+    n = 17
+    kids = tree_children(0, n)
+    assert 1 + sum(subtree_size(k, n) for k in kids) == n
+    assert subtree_size(0, n) == n
+
+
+# ----------------------------------------------------------------- PE state
+def _env(kind=Kind.APP, system=False, priority=None, fixed=False):
+    return Envelope(
+        kind=kind, src_pe=0, dst_pe=0, entry="e",
+        handle=ChareHandle(0), system=system, priority=priority, fixed=fixed,
+    )
+
+
+def test_pe_service_order_system_msgs_seeds():
+    pe = PEState(0)
+    pe.gated = False
+    seed = _env(Kind.SEED)
+    app = _env(Kind.APP)
+    svc = _env(Kind.SVC, system=True)
+    pe.enqueue(seed)
+    pe.enqueue(app)
+    pe.enqueue(svc)
+    assert pe.next_envelope() is svc
+    assert pe.next_envelope() is app
+    assert pe.next_envelope() is seed
+    assert pe.next_envelope() is None
+
+
+def test_pe_gated_serves_only_system():
+    pe = PEState(0)
+    assert pe.gated
+    pe.enqueue(_env(Kind.APP))
+    assert pe.next_envelope() is None
+    svc = _env(Kind.SVC, system=True)
+    pe.enqueue(svc)
+    assert pe.next_envelope() is svc
+    assert pe.next_envelope() is None
+    pe.gated = False
+    assert pe.next_envelope() is not None
+
+
+def test_pe_priority_strategy_orders_both_lanes():
+    pe = PEState(0, strategy_name="prio")
+    pe.gated = False
+    lo = _env(Kind.SEED, priority=10)
+    hi = _env(Kind.SEED, priority=1)
+    pe.enqueue(lo)
+    pe.enqueue(hi)
+    assert pe.next_envelope() is hi
+    assert pe.next_envelope() is lo
+
+
+def test_pe_steal_seed_only_touches_seed_pool():
+    pe = PEState(0)
+    pe.gated = False
+    app = _env(Kind.APP)
+    seed = _env(Kind.SEED)
+    pe.enqueue(app)
+    assert pe.steal_seed() is None
+    pe.enqueue(seed)
+    assert pe.steal_seed() is seed
+    assert pe.next_envelope() is app
+
+
+def test_pe_load_counts_queues_and_busy():
+    pe = PEState(0)
+    pe.gated = False
+    assert pe.load == 0
+    pe.enqueue(_env(Kind.APP))
+    pe.enqueue(_env(Kind.SEED))
+    pe.enqueue(_env(Kind.SVC, system=True))  # system lane not load
+    assert pe.load == 2
+    pe.busy = True
+    assert pe.load == 3
+    assert pe.has_work()

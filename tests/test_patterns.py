@@ -1,0 +1,67 @@
+"""Map-reduce and scatter-gather pattern helpers."""
+
+import pytest
+
+from repro import make_machine
+from repro.patterns import map_reduce, scatter_gather
+
+
+def test_map_reduce_sum():
+    total, result = map_reduce(
+        make_machine("ipsc2", 8), range(100), lambda x: x * x
+    )
+    assert total == sum(x * x for x in range(100))
+    assert not result.truncated
+
+
+def test_map_reduce_custom_op_and_initial():
+    best, _ = map_reduce(
+        make_machine("ideal", 4), [3, 17, 5], lambda x: x, op="max", initial=-1
+    )
+    assert best == 17
+
+
+def test_map_reduce_callable_work_costs_time():
+    _, cheap = map_reduce(
+        make_machine("ipsc2", 4), range(20), lambda x: x, work=10.0
+    )
+    _, costly = map_reduce(
+        make_machine("ipsc2", 4), range(20), lambda x: x,
+        work=lambda item: 10_000.0,
+    )
+    assert costly.time > cheap.time
+
+
+def test_map_reduce_empty_items():
+    total, _ = map_reduce(make_machine("ideal", 2), [], lambda x: x)
+    assert total == 0
+
+
+@pytest.mark.parametrize("balancer", ["random", "acwn", "token"])
+def test_map_reduce_balancer_invariant(balancer):
+    total, _ = map_reduce(
+        make_machine("symmetry", 4), range(40), lambda x: 2 * x,
+        balancer=balancer,
+    )
+    assert total == 2 * sum(range(40))
+
+
+def test_scatter_gather_preserves_order():
+    pairs, _ = scatter_gather(
+        make_machine("ipsc2", 8), ["a", "bb", "ccc"], len
+    )
+    assert pairs == (("a", 1), ("bb", 2), ("ccc", 3))
+
+
+def test_scatter_gather_empty():
+    pairs, _ = scatter_gather(make_machine("ideal", 2), [], len)
+    assert pairs == ()
+
+
+def test_scatter_gather_distributes_work():
+    pairs, result = scatter_gather(
+        make_machine("ideal", 4), range(32), lambda x: x, work=500.0
+    )
+    assert pairs == tuple((i, i) for i in range(32))
+    busy_pes = sum(1 for r in result.stats.pe_rows if r.busy_time > 0)
+    assert busy_pes >= 3

@@ -1,0 +1,96 @@
+"""Timeline tracer tests."""
+
+import pytest
+
+from repro import Chare, Kernel, entry, make_machine
+from repro.trace.timeline import Interval, Timeline
+from tests.conftest import run_echo
+
+
+@pytest.fixture
+def traced_run(ipsc8):
+    return run_echo(ipsc8, n=16, seed=1, timeline=True)
+
+
+def test_disabled_by_default(ipsc8):
+    result = run_echo(ipsc8, n=4)
+    assert result.kernel.timeline is None
+
+
+def test_records_every_execution(traced_run):
+    tl = traced_run.kernel.timeline
+    stats = traced_run.stats
+    total_execs = sum(
+        r.msgs_executed + r.seeds_executed + r.system_executed
+        for r in stats.pe_rows
+    )
+    assert len(tl.intervals) == total_execs
+
+
+def test_intervals_have_labels_and_kinds(traced_run):
+    tl = traced_run.kernel.timeline
+    kinds = {iv.kind for iv in tl.intervals}
+    labels = {iv.label for iv in tl.intervals}
+    assert "seed" in kinds and "svc" in kinds and "app" in kinds
+    assert "EchoWorker" in labels   # seeds are labeled by chare class
+    assert "reply" in labels        # app messages by entry name
+
+
+def test_intervals_nonoverlapping_per_pe(traced_run):
+    tl = traced_run.kernel.timeline
+    for pe in range(8):
+        ivs = sorted(tl.for_pe(pe), key=lambda iv: iv.start)
+        for a, b in zip(ivs, ivs[1:]):
+            assert b.start >= a.end - 1e-12, f"overlap on PE {pe}"
+
+
+def test_busy_time_matches_counters(traced_run):
+    tl = traced_run.kernel.timeline
+    for row in traced_run.stats.pe_rows:
+        recorded = sum(iv.duration for iv in tl.for_pe(row.pe))
+        assert recorded == pytest.approx(row.busy_time)
+
+
+def test_span_and_gaps(traced_run):
+    tl = traced_run.kernel.timeline
+    lo, hi = tl.span()
+    assert 0.0 <= lo < hi <= traced_run.time + 1e-12
+    for pe in range(8):
+        for a, b in tl.idle_gaps(pe):
+            assert b > a
+        assert tl.largest_idle_gap(pe) >= 0.0
+
+
+def test_utilization_profile_bounds(traced_run):
+    profile = traced_run.kernel.timeline.utilization_profile(buckets=10)
+    assert len(profile) == 10
+    assert all(0.0 <= u <= 1.0 for u in profile)
+    assert any(u > 0 for u in profile)
+
+
+def test_by_label_accounts_all_time(traced_run):
+    tl = traced_run.kernel.timeline
+    assert sum(tl.by_label().values()) == pytest.approx(
+        sum(iv.duration for iv in tl.intervals)
+    )
+
+
+def test_render_ascii(traced_run):
+    text = traced_run.kernel.timeline.render(width=40)
+    lines = text.splitlines()
+    assert lines[0].startswith("timeline")
+    assert len(lines) == 1 + 8
+    assert all("|" in line for line in lines[1:])
+    assert "#" in text
+
+
+def test_empty_timeline():
+    tl = Timeline()
+    assert tl.span() == (0.0, 0.0)
+    assert tl.render() == "(empty timeline)"
+    assert tl.utilization_profile(5) == [0.0] * 5
+
+
+def test_interval_end_property():
+    iv = Interval(0, 1.0, 0.5, "app", "x")
+    assert iv.end == 1.5

@@ -1,0 +1,170 @@
+"""Unit tests for interconnect topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.topology import (
+    BusTopology,
+    FullyConnectedTopology,
+    HypercubeTopology,
+    Mesh2DTopology,
+    RingTopology,
+    Torus2DTopology,
+    TreeTopology,
+    make_topology,
+)
+from repro.util.errors import TopologyError
+
+ALL = [
+    ("bus", {}),
+    ("full", {}),
+    ("ring", {}),
+    ("mesh2d", {}),
+    ("torus2d", {}),
+    ("hypercube", {}),
+    ("tree", {}),
+]
+
+
+def _sizes_for(name):
+    return [1, 2, 4, 8, 16] if name == "hypercube" else [1, 2, 5, 8, 12]
+
+
+@pytest.mark.parametrize("name,kwargs", ALL)
+def test_metric_axioms(name, kwargs):
+    for n in _sizes_for(name):
+        topo = make_topology(name, n, **kwargs)
+        for i in range(n):
+            assert topo.hops(i, i) == 0
+            for j in range(n):
+                assert topo.hops(i, j) == topo.hops(j, i)
+                assert (topo.hops(i, j) == 0) == (i == j)
+
+
+@pytest.mark.parametrize("name,kwargs", ALL)
+def test_neighbors_are_one_hop_and_symmetric(name, kwargs):
+    for n in _sizes_for(name):
+        topo = make_topology(name, n, **kwargs)
+        for i in range(n):
+            for j in topo.neighbors(i):
+                assert topo.hops(i, j) == 1
+                assert i in topo.neighbors(j)
+                assert j != i
+
+
+def test_bus_everyone_is_neighbor():
+    topo = BusTopology(6)
+    assert topo.neighbors(2) == [0, 1, 3, 4, 5]
+    assert topo.diameter() == 1
+    assert FullyConnectedTopology(6).name == "full"
+
+
+def test_ring_hops_wrap():
+    topo = RingTopology(8)
+    assert topo.hops(0, 7) == 1
+    assert topo.hops(0, 4) == 4
+    assert topo.neighbors(0) == [7, 1]
+    assert RingTopology(2).neighbors(0) == [1]
+    assert RingTopology(1).neighbors(0) == []
+
+
+def test_mesh_shape_and_hops():
+    topo = Mesh2DTopology(12, rows=3, cols=4)
+    assert topo.hops(0, 11) == 2 + 3
+    assert topo.neighbors(0) == [4, 1]
+    assert topo.diameter() == 5
+    with pytest.raises(TopologyError):
+        Mesh2DTopology(12, rows=5)
+    with pytest.raises(TopologyError):
+        Mesh2DTopology(12, rows=3, cols=5)
+
+
+def test_mesh_defaults_near_square():
+    topo = Mesh2DTopology(12)
+    assert topo.rows * topo.cols == 12
+    assert topo.rows <= topo.cols
+
+
+def test_torus_wraparound_shortens():
+    mesh = Mesh2DTopology(16, rows=4, cols=4)
+    torus = Torus2DTopology(16, rows=4, cols=4)
+    assert mesh.hops(0, 12) == 3
+    assert torus.hops(0, 12) == 1
+    assert len(torus.neighbors(0)) == 4
+
+
+def test_hypercube_hops_are_popcount():
+    topo = HypercubeTopology(16)
+    assert topo.dimension == 4
+    assert topo.hops(0b0000, 0b1111) == 4
+    assert topo.hops(0b0101, 0b0100) == 1
+    assert sorted(topo.neighbors(0)) == [1, 2, 4, 8]
+    assert topo.diameter() == 4
+
+
+def test_hypercube_requires_power_of_two():
+    with pytest.raises(TopologyError):
+        HypercubeTopology(12)
+    HypercubeTopology(1)  # 2^0 is fine
+
+
+def test_tree_structure():
+    topo = TreeTopology(7, arity=2)
+    assert topo.parent(0) is None
+    assert topo.children(0) == [1, 2]
+    assert topo.children(2) == [5, 6]
+    assert topo.hops(5, 6) == 2
+    assert topo.hops(3, 6) == 4
+    assert sorted(topo.neighbors(1)) == [0, 3, 4]
+    with pytest.raises(TopologyError):
+        TreeTopology(4, arity=1)
+
+
+def test_out_of_range_pe_raises():
+    topo = RingTopology(4)
+    with pytest.raises(TopologyError):
+        topo.hops(0, 4)
+    with pytest.raises(TopologyError):
+        topo.neighbors(-1)
+
+
+def test_make_topology_unknown_name():
+    with pytest.raises(TopologyError):
+        make_topology("donut", 4)
+
+
+def test_zero_pes_rejected():
+    with pytest.raises(TopologyError):
+        BusTopology(0)
+
+
+@given(st.integers(min_value=1, max_value=6), st.data())
+def test_property_hypercube_triangle_inequality(dim, data):
+    n = 2**dim
+    topo = HypercubeTopology(n)
+    i = data.draw(st.integers(min_value=0, max_value=n - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    k = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert topo.hops(i, k) <= topo.hops(i, j) + topo.hops(j, k)
+
+
+@given(st.integers(min_value=2, max_value=30), st.data())
+def test_property_ring_triangle_inequality(n, data):
+    topo = RingTopology(n)
+    i = data.draw(st.integers(min_value=0, max_value=n - 1))
+    j = data.draw(st.integers(min_value=0, max_value=n - 1))
+    k = data.draw(st.integers(min_value=0, max_value=n - 1))
+    assert topo.hops(i, k) <= topo.hops(i, j) + topo.hops(j, k)
+
+
+@given(st.integers(min_value=2, max_value=40), st.integers(min_value=2, max_value=4))
+def test_property_tree_every_node_reaches_root(n, arity):
+    topo = TreeTopology(n, arity=arity)
+    for pe in range(n):
+        depth = 0
+        cur = pe
+        while topo.parent(cur) is not None:
+            cur = topo.parent(cur)
+            depth += 1
+            assert depth < n
+        assert topo.hops(pe, 0) == depth

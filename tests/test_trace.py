@@ -1,0 +1,70 @@
+"""Trace/report invariants: the counters must tell a consistent story."""
+
+from repro import Kernel, make_machine
+from repro.trace.report import TraceReport
+from tests.conftest import run_echo
+
+
+def test_report_shape(ipsc8):
+    result = run_echo(ipsc8, n=16, seed=1)
+    report = result.stats
+    assert isinstance(report, TraceReport)
+    assert report.num_pes == 8
+    assert len(report.pe_rows) == 8
+    assert report.machine == "ipsc2"
+    assert report.queueing == "fifo"
+    assert report.balancer == "random"
+
+
+def test_utilization_bounded(ipsc8):
+    report = run_echo(ipsc8, n=32, seed=1).stats
+    for row in report.pe_rows:
+        assert 0.0 <= row.utilization <= 1.0 + 1e-9
+    assert 0.0 <= report.mean_utilization <= 1.0 + 1e-9
+
+
+def test_busy_time_not_exceeding_wall(ipsc8):
+    result = run_echo(ipsc8, n=32, seed=1)
+    for row in result.stats.pe_rows:
+        assert row.busy_time <= result.time + 1e-12
+
+
+def test_counts_consistent(ipsc8):
+    result = run_echo(ipsc8, n=20, seed=1)
+    report = result.stats
+    # 20 worker seeds + 20 replies, executed exactly once each.
+    seeds = sum(r.seeds_executed for r in report.pe_rows)
+    msgs = sum(r.msgs_executed for r in report.pe_rows)
+    assert seeds == 20 + 1  # + main-chare construction
+    assert msgs == 20
+    # Nothing counted was lost in flight.
+    assert report.counted_sent == report.counted_processed
+
+
+def test_bytes_sent_positive_and_accounted(ipsc8):
+    report = run_echo(ipsc8, n=8, seed=1).stats
+    assert report.total_bytes_sent > 0
+    assert report.total_bytes_sent == sum(r.bytes_sent for r in report.pe_rows)
+
+
+def test_load_imbalance_of_idle_run_is_finite(ideal4):
+    report = run_echo(ideal4, n=4).stats
+    assert report.load_imbalance >= 1.0 or report.load_imbalance == 0.0
+
+
+def test_as_dict_and_summary(ipsc8):
+    report = run_echo(ipsc8, n=8, seed=1).stats
+    d = report.as_dict()
+    for key in ("machine", "num_pes", "total_time", "mean_util", "imbalance"):
+        assert key in d
+    text = report.summary()
+    assert "ipsc2" in text
+    assert "utilization" in text
+
+
+def test_charged_units_match_apps(ideal4):
+    result = run_echo(ideal4, n=10)
+    # EchoWorker charges 10 units each; runtime services add a little more.
+    assert result.stats.total_charged >= 100
+    app_units = sum(10 for _ in range(10))
+    assert result.stats.total_charged < app_units + 500  # services stay modest

@@ -1,0 +1,131 @@
+"""The broad integration sweep: every app on every machine preset.
+
+Small instances, P=4 (P=8 for hypercube-only presets needing 2^k), one
+configuration each — the point is breadth: any preset-specific or
+app-specific interaction bug in the runtime shows up here.
+"""
+
+import numpy as np
+import pytest
+
+from repro import make_machine
+from repro.apps import (
+    MdParams,
+    TreeParams,
+    fib_seq,
+    ida_star_seq,
+    knapsack_seq,
+    md_seq,
+    nqueens_seq,
+    primes_seq,
+    random_puzzle,
+    run_fib,
+    run_histogram,
+    run_jacobi,
+    run_knapsack,
+    run_matmul,
+    run_md,
+    run_nqueens,
+    run_primes,
+    run_puzzle,
+    run_samplesort,
+    run_sor,
+    run_tree,
+    run_tsp,
+    jacobi_seq,
+    sor_seq,
+    tree_seq,
+    tsp_seq,
+)
+from repro.apps.knapsack import KnapsackInstance
+from repro.apps.tsp import TspInstance
+from repro.machine.presets import MACHINE_PRESETS
+
+PRESETS = sorted(MACHINE_PRESETS)
+
+
+def _machine(name):
+    return make_machine(name, 4)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_queens_everywhere(preset):
+    assert run_nqueens(_machine(preset), n=6, grainsize=2)[0] == nqueens_seq(6)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_fib_everywhere(preset):
+    assert run_fib(_machine(preset), n=13, threshold=6)[0] == fib_seq(13)[0]
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_primes_everywhere(preset):
+    assert run_primes(_machine(preset), limit=800, chunks=8)[0] == primes_seq(800)[0]
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_tsp_everywhere(preset):
+    inst = TspInstance.random(7, 1)
+    assert run_tsp(_machine(preset), inst)[0][0] == tsp_seq(inst)[0]
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_knapsack_everywhere(preset):
+    inst = KnapsackInstance.random(14, 1)
+    assert run_knapsack(_machine(preset), inst, grain=7)[0][0] == knapsack_seq(inst)[0]
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_jacobi_everywhere(preset):
+    (grid, _), _ = run_jacobi(_machine(preset), n=8, blocks=2, iterations=4)
+    assert np.array_equal(grid, jacobi_seq(8, 4)[0])
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_sor_everywhere(preset):
+    (grid, iters, _), _ = run_sor(_machine(preset), n=8, blocks=2,
+                                  tol=1e-2, max_iters=40)
+    ref_grid, ref_iters, _ = sor_seq(8, tol=1e-2, max_iters=40)
+    assert iters == ref_iters
+    assert np.array_equal(grid, ref_grid)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_matmul_everywhere(preset):
+    (a, b, c), _ = run_matmul(_machine(preset), n=16, g=2)
+    assert np.allclose(c, a @ b)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_tree_everywhere(preset):
+    params = TreeParams(seed=4, max_depth=8)
+    assert run_tree(_machine(preset), params)[0] == tree_seq(params)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_histogram_everywhere(preset):
+    (ins, found, bad), _ = run_histogram(_machine(preset), items=40, workers=4)
+    assert (ins, found, bad) == (40, 40, 0)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_puzzle_everywhere(preset):
+    board = random_puzzle(3, 14, seed=6)
+    cost, rounds, _ = ida_star_seq(board, 3)
+    (pcost, prounds, _), _ = run_puzzle(_machine(preset), board, split=3)
+    assert (pcost, prounds) == (cost, rounds)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_samplesort_everywhere(preset):
+    (inp, out), _ = run_samplesort(_machine(preset), n=256, workers=4)
+    assert np.array_equal(out, np.sort(inp))
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_md_everywhere(preset):
+    params = MdParams(cells=3, n_particles=24, steps=5, seed=2)
+    (pos, vel), _ = run_md(_machine(preset), params)
+    ref_pos, ref_vel = md_seq(params)
+    assert np.array_equal(pos, ref_pos)
+    assert np.array_equal(vel, ref_vel)
