@@ -7,6 +7,8 @@ push/pop throughput — so performance regressions in the simulator are
 caught by pytest-benchmark's timing statistics.
 """
 
+import pytest
+
 from repro import Chare, Kernel, entry, make_machine
 from repro.queueing.strategies import make_strategy
 from repro.sim.engine import Engine
@@ -71,6 +73,53 @@ def test_kernel_seed_fanout_throughput(benchmark):
     assert benchmark(run_fanout) == 1_000
 
 
+@pytest.mark.parametrize("pes", [1, 4, 32])
+def test_kernel_seed_fanout_throughput_scaling(benchmark, pes):
+    """Seed throughput across machine sizes (P=8 is the tracked headline)."""
+
+    def run_fanout():
+        kernel = Kernel(make_machine("ideal", pes), balancer="random")
+        return kernel.run(_Fanout, 1_000).result
+
+    assert benchmark(run_fanout) == 1_000
+
+
+def test_kernel_remote_message_throughput(benchmark):
+    """Cross-PE traffic on a real topology: exercises the memoized
+    hops/transit tables rather than the src == dst local fast path."""
+
+    def run_remote():
+        kernel = Kernel(make_machine("ncube2", 16))
+        return kernel.run(_RemotePing, 1_000).result
+
+    assert benchmark(run_remote) == 1_000
+
+
+class _RemoteEcho(Chare):
+    def __init__(self, parent):
+        self.parent = parent
+
+    @entry
+    def ping(self, i):
+        self.send(self.parent, "pong", i)
+
+
+class _RemotePing(Chare):
+    def __init__(self, rounds):
+        self.rounds = rounds
+        # Pin the echo chare to the far corner of the hypercube so every
+        # round crosses the network.
+        self.echo = self.create(_RemoteEcho, self.thishandle, pe=15)
+        self.send(self.echo, "ping", 0)
+
+    @entry
+    def pong(self, i):
+        if i >= self.rounds:
+            self.exit(i)
+        else:
+            self.send(self.echo, "ping", i + 1)
+
+
 def test_priority_pool_throughput(benchmark):
     def churn():
         q = make_strategy("prio")
@@ -82,3 +131,20 @@ def test_priority_pool_throughput(benchmark):
         return total
 
     assert benchmark(churn) == sum(range(5_000))
+
+
+@pytest.mark.parametrize("name", ["fifo", "lifo", "bitprio"])
+def test_pool_throughput(benchmark, name):
+    """Push/pop churn for each queueing strategy (prio has its own test)."""
+
+    def churn():
+        q = make_strategy(name)
+        for i in range(5_000):
+            q.push(i, (i * 2654435761) % 1000)
+        total = 0
+        while q:
+            q.pop()
+            total += 1
+        return total
+
+    assert benchmark(churn) == 5_000

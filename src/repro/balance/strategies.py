@@ -36,8 +36,14 @@ class RandomBalancer(Balancer):
 
     strategy_name = "random"
 
+    def bind(self, kernel) -> None:
+        super().bind(kernel)
+        # on_new_seed runs once per created chare; prebind its lookups.
+        self._randint = self.rng.randint
+        self._num_pes = kernel.num_pes
+
     def on_new_seed(self, src_pe: int, chare_cls: type) -> int:
-        target = self.rng.randint(0, self.kernel.num_pes)
+        target = self._randint(0, self._num_pes)
         if target != src_pe:
             self.seeds_placed_remote += 1
         return target
@@ -170,7 +176,7 @@ class TokenBalancer(Balancer):
                 kernel._deliver(seed.forwarded(thief), kernel.now)
                 donated += 1
             for seed in pinned:
-                state.seed_pool.push(seed, seed.priority)
+                state.requeue_seed(seed)
             if donated == 0:
                 self.control_msgs += 1
                 self.send(pe, thief, "steal_none", ())

@@ -1,0 +1,48 @@
+"""Tiny chare programs used by the host-throughput microbenchmarks.
+
+Kept in their own module (rather than inline in ``repro.bench.perf`` or
+the pytest files) so the perf reporter, the pytest-benchmark suite and the
+CI regression guard all time exactly the same workloads.
+"""
+
+from __future__ import annotations
+
+from repro import Chare, entry
+
+__all__ = ["PingPong", "Fanout", "FanWorker"]
+
+
+class PingPong(Chare):
+    """A 1-PE self-message chain: the purest kernel-message hot path."""
+
+    def __init__(self, rounds):
+        self.rounds = rounds
+        self.send(self.thishandle, "ping", 0)
+
+    @entry
+    def ping(self, i):
+        if i >= self.rounds:
+            self.exit(i)
+        else:
+            self.send(self.thishandle, "ping", i + 1)
+
+
+class Fanout(Chare):
+    """N balancer-routed seeds, each replying once: the seed hot path."""
+
+    def __init__(self, n):
+        self.n = n
+        self.seen = 0
+        for i in range(n):
+            self.create(FanWorker, self.thishandle)
+
+    @entry
+    def done(self):
+        self.seen += 1
+        if self.seen == self.n:
+            self.exit(self.seen)
+
+
+class FanWorker(Chare):
+    def __init__(self, parent):
+        self.send(parent, "done")

@@ -1,0 +1,201 @@
+"""Host-throughput reporter for the simulator itself.
+
+Measures how fast the *host* machinery runs — engine events/s, kernel
+messages/s, seed fan-out/s, pool ops/s — and appends one labelled entry to
+``BENCH_sim_throughput.json`` at the repo root, so the perf trajectory of
+the simulator is tracked PR over PR (the virtual-time experiment tables in
+``repro.bench.experiments`` are unaffected by any of this).
+
+Usage::
+
+    python -m repro.bench.perf --label after-hot-path   # record an entry
+    python -m repro.bench.perf --check                  # regression guard
+
+``--check`` re-measures and fails (exit 1) if events/s or messages/s fall
+more than ``--tolerance`` (default 30%) below the most recent recorded
+entry — the cheap CI guard against accidentally re-introducing per-event
+allocation in the hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from typing import Callable, Dict
+
+__all__ = ["measure_throughput", "record", "check", "DEFAULT_PATH"]
+
+DEFAULT_PATH = "BENCH_sim_throughput.json"
+
+#: Metrics the --check guard enforces (others are informational).
+GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
+                   "kernel_seeds_per_s")
+
+
+# --------------------------------------------------------------- measurement
+def _best_rate(fn: Callable[[], int], repeats: int = 5) -> float:
+    """ops/s over the best of ``repeats`` runs (min-time, standard practice)."""
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        ops = fn()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return ops / best if best > 0 else float("inf")
+
+
+def _engine_events() -> int:
+    from repro.sim.engine import Engine
+
+    eng = Engine()
+    schedule_call = getattr(eng, "schedule_call", None)
+    if schedule_call is not None:
+        for i in range(10_000):
+            schedule_call(float(i % 97), _noop1, None)
+    else:  # pre-optimization engines: closure-per-event
+        for i in range(10_000):
+            eng.schedule(float(i % 97), _noop0)
+    eng.run()
+    return eng.events_fired
+
+
+def _noop0() -> None:
+    return None
+
+
+def _noop1(_arg) -> None:
+    return None
+
+
+def _kernel_messages() -> int:
+    from repro import Kernel, make_machine
+    from repro.bench._workloads import PingPong
+
+    kernel = Kernel(make_machine("ideal", 1))
+    rounds = 2_000
+    assert kernel.run(PingPong, rounds).result == rounds
+    return rounds
+
+
+def _seed_fanout(num_pes: int) -> Callable[[], int]:
+    def run() -> int:
+        from repro import Kernel, make_machine
+        from repro.bench._workloads import Fanout
+
+        kernel = Kernel(make_machine("ideal", num_pes), balancer="random")
+        seeds = 1_000
+        assert kernel.run(Fanout, seeds).result == seeds
+        return seeds
+
+    return run
+
+
+def _pool_churn(strategy_name: str) -> Callable[[], int]:
+    def run() -> int:
+        from repro.queueing.strategies import make_strategy
+
+        q = make_strategy(strategy_name)
+        n = 5_000
+        for i in range(n):
+            q.push(i, (i * 2654435761) % 1000)
+        while q:
+            q.pop()
+        return 2 * n
+
+    return run
+
+
+def measure_throughput(repeats: int = 5) -> Dict[str, float]:
+    """Run every microbenchmark; returns {metric: ops_per_second}."""
+    metrics = {
+        "engine_events_per_s": _best_rate(_engine_events, repeats),
+        "kernel_msgs_per_s": _best_rate(_kernel_messages, repeats),
+        "kernel_seeds_per_s": _best_rate(_seed_fanout(8), repeats),
+    }
+    for pes in (1, 4, 32):
+        metrics[f"kernel_seeds_per_s_p{pes}"] = _best_rate(
+            _seed_fanout(pes), repeats
+        )
+    for name in ("fifo", "lifo", "prio", "bitprio"):
+        metrics[f"pool_{name}_ops_per_s"] = _best_rate(
+            _pool_churn(name), repeats
+        )
+    return metrics
+
+
+# ------------------------------------------------------------------- storage
+def _load(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"entries": []}
+
+
+def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5) -> dict:
+    """Measure and append one entry; returns the entry."""
+    entry = {
+        "label": label or "unlabelled",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "metrics": measure_throughput(repeats),
+    }
+    data = _load(path)
+    data["entries"].append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=1)
+        fh.write("\n")
+    return entry
+
+
+def check(path: str = DEFAULT_PATH, tolerance: float = 0.30,
+          repeats: int = 3) -> bool:
+    """Re-measure the guarded metrics; True iff none regressed past tolerance."""
+    data = _load(path)
+    if not data["entries"]:
+        print(f"no baseline entries in {path}; nothing to check")
+        return True
+    baseline = data["entries"][-1]
+    current = measure_throughput(repeats)
+    ok = True
+    print(f"perf guard vs {baseline['label']!r} ({baseline['timestamp']}):")
+    for name in GUARDED_METRICS:
+        base = baseline["metrics"].get(name)
+        if base is None:
+            continue
+        now = current[name]
+        ratio = now / base
+        flag = "ok" if ratio >= 1.0 - tolerance else "REGRESSION"
+        print(f"  {name}: {now:,.0f}/s vs {base:,.0f}/s "
+              f"({ratio:.2f}x) {flag}")
+        if ratio < 1.0 - tolerance:
+            ok = False
+    return ok
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--output", default=DEFAULT_PATH,
+                    help="JSON artifact path (default: repo-root file)")
+    ap.add_argument("--label", default="", help="entry label, e.g. a PR name")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--check", action="store_true",
+                    help="regression-guard mode: compare against last entry")
+    ap.add_argument("--tolerance", type=float, default=0.30,
+                    help="allowed fractional drop in --check mode")
+    args = ap.parse_args(argv)
+    if args.check:
+        return 0 if check(args.output, args.tolerance) else 1
+    entry = record(args.output, args.label, args.repeats)
+    print(f"recorded {entry['label']!r} -> {args.output}")
+    for name, value in entry["metrics"].items():
+        print(f"  {name}: {value:,.0f}/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import time as _host_time
 from dataclasses import dataclass, field
+from types import FunctionType as _FunctionType
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.chare import BranchOfficeChare, Chare, is_entry
@@ -53,6 +54,13 @@ __all__ = ["Kernel", "RunResult", "ExecContext"]
 
 #: Safety valve: a run firing more events than this is aborted as truncated.
 DEFAULT_MAX_EVENTS = 30_000_000
+
+# Kind tags as module globals: LOAD_GLOBAL beats a class-attribute chain in
+# the per-event dispatch below.
+_APP = Kind.APP
+_SEED = Kind.SEED
+_BOC = Kind.BOC
+_SVC = Kind.SVC
 
 
 class ExecContext:
@@ -100,13 +108,41 @@ class Kernel:
     ) -> None:
         from repro.sim.engine import Engine  # local import: keep core light
         from repro.balance import make_balancer
+        from repro.balance.base import Balancer
         from repro.sharing.manager import SharingService
         from repro.quiescence.detector import QuiescenceService
 
         self.machine = machine
         self.machine.reset()
         self.params = machine.params
+        # Hot-path constants: every entry execution pays this fixed cost and
+        # every local message this latency, so resolve them once per run
+        # instead of via two attribute chains per event.
+        self._overhead_base = (
+            machine.params.sched_overhead + machine.params.recv_overhead
+        )
+        self._local_alpha = machine.params.local_alpha
+        # Homogeneous machines skip Machine.compute_time per execution; the
+        # multiply below is bitwise the same operation compute_time performs.
+        self._work_unit_time = (
+            None if machine.pe_speeds else machine.params.work_unit_time
+        )
+        # Pre-bound machine methods used once per remote message.
+        self._hops = machine.hops
+        self._transit_time = machine.transit_time
         self.engine = Engine()
+        # Per-kernel envelope uid allocation (reproducible run-to-run and
+        # unaffected by other kernels in the same process).
+        self._next_uid = 1
+        # Pre-bound hot-path callbacks: schedule_call takes fn+payload, and
+        # binding these once means no per-event bound-method allocation.
+        self._arrive_cb = self._arrive
+        self._finish_cb = self._finish
+        self._schedule_call = self.engine.schedule_call
+        # (class, entry_name) -> validated plain function; _invoke calls
+        # fn(obj, *args) without re-running getattr + @entry checks per
+        # message.
+        self._entry_cache: Dict[Tuple[type, str], Callable] = {}
         self.rng = RngStream(seed, "kernel")
         self.seed = seed
         self.queueing = queueing
@@ -132,6 +168,9 @@ class Kernel:
         # link-occupancy metric the topology-aware collectives reduce (A1).
         self.total_message_hops = 0
 
+        # Chare classes already vetted by api_create (skips two issubclass
+        # walks per creation).
+        self._validated_chare_classes: set = set()
         # Object tables -----------------------------------------------------
         self.chares: Dict[int, Chare] = {}
         self.destroyed: set = set()
@@ -156,9 +195,27 @@ class Kernel:
         for svc in (self.sharing, self.qd, self.balancer):
             svc.bind(self)
             self.services[svc.name] = svc
+        # Balancer hooks run once per arrival; bind them once, and detect
+        # un-overridden base hooks so _arrive can skip provably-no-op calls:
+        # the base note_load ignores self-loads (observer == subject) and the
+        # base on_seed_arrival always keeps the seed.  Subclassed hooks are
+        # always called.
+        self._note_load = self.balancer.note_load
+        self._on_seed_arrival = self.balancer.on_seed_arrival
+        balancer_cls = type(self.balancer)
+        self._note_load_is_base = (
+            balancer_cls.note_load is Balancer.note_load
+        )
+        self._seed_hook_is_base = (
+            balancer_cls.on_seed_arrival is Balancer.on_seed_arrival
+        )
 
         # Run state ------------------------------------------------------------
         self._current: Optional[ExecContext] = None
+        # Entry executions never nest (message-driven, non-preemptive), so
+        # one ExecContext is reset and reused per execution instead of
+        # allocating a context + outbox list per message.
+        self._ctx = ExecContext(0, 0.0, False)
         #: Virtual time at which the last *counted* (application) message
         #: finished executing — the true end of useful work, used to measure
         #: quiescence-detection latency (experiment T9).
@@ -202,20 +259,31 @@ class Kernel:
             raise ConfigurationError(f"{main_cls.__name__} is not a Chare subclass")
 
         t0 = _host_time.perf_counter()
-        self.engine.schedule(0.0, lambda: self._bootstrap(main_cls, args))
+        self.engine.schedule_call(0.0, self._bootstrap, (main_cls, args))
 
         truncated = False
         fired = 0
-        while not self._exited:
-            if max_events is not None and fired >= max_events:
-                truncated = True
-                break
-            if until is not None and self.now >= until:
-                truncated = True
-                break
-            if not self.engine.step():
-                break
-            fired += 1
+        step = self.engine.step
+        if until is None and max_events is not None:
+            # Common case: budget only — two fewer checks per event.
+            while not self._exited:
+                if fired >= max_events:
+                    truncated = True
+                    break
+                if not step():
+                    break
+                fired += 1
+        else:
+            while not self._exited:
+                if max_events is not None and fired >= max_events:
+                    truncated = True
+                    break
+                if until is not None and self.now >= until:
+                    truncated = True
+                    break
+                if not step():
+                    break
+                fired += 1
 
         from repro.trace.report import TraceReport
 
@@ -233,8 +301,9 @@ class Kernel:
             kernel=self,
         )
 
-    def _bootstrap(self, main_cls: type, args: tuple) -> None:
+    def _bootstrap(self, payload: tuple) -> None:
         """Construct the main chare on PE 0 and open the startup gates."""
+        main_cls, args = payload
         gid = self._alloc_gid()
         handle = ChareHandle(gid)
         self.main_handle = handle
@@ -281,30 +350,66 @@ class Kernel:
     # ================================================================= delivery
     def _deliver(self, env: Envelope, departure: float) -> None:
         """Hand an envelope to the network; schedule its arrival."""
-        src = self.pes[env.src_pe]
-        env.carried_load = src.load
+        src_pe = env.src_pe
+        src = self.pes[src_pe]
+        # PEState.load, inlined (the property descriptor costs a Python call
+        # per message).
+        env.carried_load = src._app_queued + 1 if src.busy else src._app_queued
         src.msgs_sent += 1
-        src.bytes_sent += env.nbytes
-        self.total_message_hops += self.machine.topology.hops(env.src_pe, env.dst_pe)
+        nbytes = env.nbytes
+        src.bytes_sent += nbytes
+        if env.uid is None:
+            env.uid = self._next_uid
+            self._next_uid += 1
         if env.counted and not env.suppress_sent_count:
-            self.counted_sent[env.src_pe] += 1
-        transit = self.machine.transit_time(
-            env.src_pe, env.dst_pe, env.nbytes, departure
-        )
-        self.engine.schedule(departure + transit, lambda: self._arrive(env))
+            self.counted_sent[src_pe] += 1
+        dst_pe = env.dst_pe
+        if src_pe == dst_pe:
+            # Local fast path: zero hops and a fixed enqueue latency — skip
+            # the topology/hop accounting and the contention machinery
+            # (Machine.transit_time returns local_alpha unconditionally for
+            # src == dst, so virtual time is unchanged).
+            self._schedule_call(
+                departure + self._local_alpha, self._arrive_cb, env
+            )
+            return
+        self.total_message_hops += self._hops(src_pe, dst_pe)
+        transit = self._transit_time(src_pe, dst_pe, nbytes, departure)
+        self._schedule_call(departure + transit, self._arrive_cb, env)
 
     def _arrive(self, env: Envelope) -> None:
         """An envelope reached its destination PE's pool."""
-        pe = self.pes[env.dst_pe]
-        self.balancer.note_load(env.dst_pe, env.src_pe, env.carried_load)
-        if env.kind == Kind.SEED and not env.fixed:
-            fwd = self.balancer.on_seed_arrival(env.dst_pe, env)
-            if fwd is not None and fwd != env.dst_pe:
+        dst_pe = env.dst_pe
+        pe = self.pes[dst_pe]
+        src_pe = env.src_pe
+        if src_pe != dst_pe or not self._note_load_is_base:
+            # Base note_load ignores self-loads, so the local-message call
+            # is skipped when the hook is not overridden.
+            self._note_load(dst_pe, src_pe, env.carried_load)
+        if env.kind == _SEED and not env.fixed and not self._seed_hook_is_base:
+            fwd = self._on_seed_arrival(dst_pe, env)
+            if fwd is not None and fwd != dst_pe:
                 pe.seeds_forwarded_in += 1
                 self._deliver(env.forwarded(fwd), self.now + self.params.recv_overhead)
                 return
             # NOTE: placement is recorded at *construction*, not here, so a
             # work-stealing balancer may still extract the queued seed.
+        if not pe.busy and not pe.gated and pe._queued == 0:
+            # Idle-PE fast path: the envelope would be enqueued and popped
+            # right back by _start_service; execute it directly.  Only for
+            # kinds that are servable on the spot (a seed always is; an APP
+            # message only if its target already exists) — everything else
+            # takes the full selection loop.  The high-water mark still
+            # counts the momentary queue depth of 1.
+            kind = env.kind
+            if kind == _SEED or (
+                kind == _APP and env.handle.gid in self.chares
+            ) or env.system or kind == _SVC:
+                if pe.max_queued == 0:
+                    pe.max_queued = 1
+                pe.busy = True
+                self._execute(pe, env)
+                return
         pe.enqueue(env)
         if not pe.busy:
             self._start_service(pe)
@@ -328,7 +433,12 @@ class Kernel:
 
     # ================================================================ scheduler
     def _start_service(self, pe: PEState) -> None:
-        """If idle, pick the next message and execute it."""
+        """If idle, pick the next message and execute it.
+
+        The selection loop is duplicated in :meth:`_finish` (which runs
+        once per executed message) so completion doesn't pay an extra call
+        frame; keep the two bodies in sync.
+        """
         if self._exited or pe.busy:
             return
         while True:
@@ -338,15 +448,19 @@ class Kernel:
                     pe.idle_notified = True
                     self.balancer.on_idle(pe.index)
                 return
-            if env.kind == Kind.APP and env.handle.gid in self.destroyed:
-                raise RoutingError(
-                    f"message {env.entry!r} to destroyed chare {env.handle}"
-                )
-            if env.kind == Kind.APP and env.handle.gid not in self.chares:
+            kind = env.kind
+            if kind == _APP:
+                gid = env.handle.gid
+                if gid in self.chares:
+                    break
+                if gid in self.destroyed:
+                    raise RoutingError(
+                        f"message {env.entry!r} to destroyed chare {env.handle}"
+                    )
                 # Arrived before its target was constructed; hold until then.
-                self._premature.setdefault(env.handle.gid, []).append(env)
+                self._premature.setdefault(gid, []).append(env)
                 continue
-            if env.kind == Kind.BOC and env.dst_pe not in self.bocs.get(
+            if kind == _BOC and env.dst_pe not in self.bocs.get(
                 env.boc.boc_id, {}
             ):
                 self._boc_premature.setdefault(
@@ -359,21 +473,48 @@ class Kernel:
 
     def _execute(self, pe: PEState, env: Envelope) -> None:
         """Run one entry method; occupy the PE; emit its sends."""
-        ctx = ExecContext(pe.index, self.now, env.system or env.kind == Kind.SVC)
+        kind = env.kind
+        ctx = self._ctx
+        start = ctx.start = self.engine._now
+        ctx.pe = pe.index
+        ctx.charged = 0.0
+        ctx.system = env.system or kind == _SVC
+        outbox = ctx.outbox
+        outbox.clear()
         self._current = ctx
         try:
-            self._dispatch(pe, env)
+            # Inlined _dispatch for the two per-message kinds; SVC/BOC (and
+            # the unknown-kind error) go through the full router.
+            if kind == _APP:
+                chare = self.chares.get(env.handle.gid)
+                if chare is None:
+                    raise RoutingError(f"message to unknown chare {env.handle}")
+                fn = self._entry_cache.get((type(chare), env.entry))
+                if fn is not None:
+                    fn(chare, *env.args)
+                else:
+                    self._invoke(chare, env.entry, env.args)
+            elif kind == _SEED:
+                self._construct_chare(pe, env)
+            else:
+                self._dispatch(pe, env)
         finally:
             self._current = None
-        p = self.params
-        duration = p.sched_overhead + p.recv_overhead + self.machine.compute_time(
-            ctx.charged, pe.index
-        )
+        base = self._overhead_base
+        wut = self._work_unit_time
+        charged = ctx.charged
+        if wut is not None:
+            duration = base + charged * wut
+        else:
+            duration = base + self.machine.compute_time(charged, pe.index)
         pe.busy_time += duration
-        pe.charged_units += ctx.charged
-        if env.kind == Kind.SVC or env.system:
+        pe.charged_units += charged
+        if kind == _APP and not env.system:
+            pe.msgs_executed += 1
+            pe.idle_notified = False
+        elif kind == _SVC or env.system:
             pe.system_executed += 1
-        elif env.kind == Kind.SEED:
+        elif kind == _SEED:
             pe.seeds_executed += 1
             pe.idle_notified = False
         else:
@@ -381,57 +522,82 @@ class Kernel:
             pe.idle_notified = False
         if env.counted:
             self.counted_processed[pe.index] += 1
-            self.last_counted_exec_time = ctx.start + duration
+            self.last_counted_exec_time = start + duration
         if self.timeline is not None:
-            self.timeline.record(pe.index, ctx.start, duration, env)
-        base = p.sched_overhead + p.recv_overhead
-        for charged_at_send, out in ctx.outbox:
-            offset = base + self.machine.compute_time(charged_at_send, pe.index)
-            self._deliver(out, ctx.start + min(offset, duration))
-        pe.busy_until = ctx.start + duration
+            self.timeline.record(pe.index, start, duration, env)
+        if outbox:
+            for charged_at_send, out in outbox:
+                if wut is not None:
+                    offset = base + charged_at_send * wut
+                else:
+                    offset = base + self.machine.compute_time(
+                        charged_at_send, pe.index
+                    )
+                self._deliver(out, start + min(offset, duration))
+            outbox.clear()
+        pe.busy_until = busy_until = start + duration
         if self._exit_requested and not self._exited:
             self._exited = True
-            self._final_time = pe.busy_until
+            self._final_time = busy_until
             return
-        self.engine.schedule(pe.busy_until, lambda: self._finish(pe))
+        self._schedule_call(busy_until, self._finish_cb, pe)
 
     def _dispatch(self, pe: PEState, env: Envelope) -> None:
         """Route an envelope to its handler (chare entry, BOC entry, service)."""
-        if env.kind == Kind.SEED:
-            self._construct_chare(pe, env)
-        elif env.kind == Kind.APP:
+        kind = env.kind
+        if kind == _APP:
             chare = self.chares.get(env.handle.gid)
             if chare is None:
                 raise RoutingError(f"message to unknown chare {env.handle}")
             self._invoke(chare, env.entry, env.args)
-        elif env.kind == Kind.BOC:
+        elif kind == _SEED:
+            self._construct_chare(pe, env)
+        elif kind == _SVC:
+            self.services[env.service].handle(env.dst_pe, env.entry, env.args)
+        elif kind == _BOC:
             branch = self.bocs[env.boc.boc_id].get(env.dst_pe)
             if branch is None:
                 raise RoutingError(
                     f"message to missing branch {env.boc} on PE {env.dst_pe}"
                 )
             self._invoke(branch, env.entry, env.args)
-        elif env.kind == Kind.SVC:
-            self.services[env.service].handle(env.dst_pe, env.entry, env.args)
         else:  # pragma: no cover - exhaustive
             raise RoutingError(f"unknown envelope kind {env.kind}")
 
     def _invoke(self, obj: Chare, entry_name: str, args: tuple) -> None:
-        method = getattr(obj, entry_name, None)
-        if method is None:
-            raise RoutingError(
-                f"{type(obj).__name__} has no entry {entry_name!r}"
-            )
-        if self.strict_entries and not is_entry(method):
-            raise RoutingError(
-                f"{type(obj).__name__}.{entry_name} is not marked @entry"
-            )
-        method(*args)
+        cls = type(obj)
+        fn = self._entry_cache.get((cls, entry_name))
+        if fn is None:
+            fn = getattr(cls, entry_name, None)
+            if not isinstance(fn, _FunctionType) or (
+                self.strict_entries and not is_entry(fn)
+            ):
+                # Rare/legacy shapes (instance-level attributes, missing or
+                # unmarked entries): resolve on the instance for the exact
+                # historical error behavior, and don't cache.
+                method = getattr(obj, entry_name, None)
+                if method is None:
+                    raise RoutingError(
+                        f"{cls.__name__} has no entry {entry_name!r}"
+                    )
+                if self.strict_entries and not is_entry(method):
+                    raise RoutingError(
+                        f"{cls.__name__}.{entry_name} is not marked @entry"
+                    )
+                method(*args)
+                return
+            self._entry_cache[(cls, entry_name)] = fn
+        fn(obj, *args)
 
     def _construct_chare(self, pe: PEState, env: Envelope) -> None:
         gid = env.handle.gid
-        if self.placement.get(gid) is None:
-            self._place(gid, pe.index)
+        placement = self.placement
+        if placement.get(gid) is None:
+            # _place, inlined for the common no-buffered-sends case (one
+            # construction per chare, so the extra frame is per-seed cost).
+            placement[gid] = pe.index
+            if gid in self._pending_sends:
+                self._place(gid, pe.index)
         obj = env.chare_cls.__new__(env.chare_cls)
         obj._kernel = self
         obj._handle = env.handle
@@ -443,15 +609,55 @@ class Kernel:
             pe.enqueue(held)
 
     def _finish(self, pe: PEState) -> None:
+        """An execution completed; serve the PE's next message.
+
+        Body duplicated from :meth:`_start_service` (minus the idle/busy
+        guard, which is vacuous here): this callback fires once per
+        executed message, so the saved delegation frame is paid back
+        millions of times per run.  Keep the two loops in sync.
+        """
         pe.busy = False
-        if not self._exited:
-            self._start_service(pe)
+        if self._exited:
+            return
+        while True:
+            env = pe.next_envelope()
+            if env is None:
+                if not pe.gated and not pe.has_work() and not pe.idle_notified:
+                    pe.idle_notified = True
+                    self.balancer.on_idle(pe.index)
+                return
+            kind = env.kind
+            if kind == _APP:
+                gid = env.handle.gid
+                if gid in self.chares:
+                    break
+                if gid in self.destroyed:
+                    raise RoutingError(
+                        f"message {env.entry!r} to destroyed chare {env.handle}"
+                    )
+                self._premature.setdefault(gid, []).append(env)
+                continue
+            if kind == _BOC and env.dst_pe not in self.bocs.get(
+                env.boc.boc_id, {}
+            ):
+                self._boc_premature.setdefault(
+                    (env.boc.boc_id, env.dst_pe), []
+                ).append(env)
+                continue
+            break
+        pe.busy = True
+        self._execute(pe, env)
 
     # ================================================================== chare API
     def api_charge(self, units: float) -> None:
         if units < 0:
             raise ConfigurationError("cannot charge negative work")
-        self.current.charged += units
+        ctx = self._current
+        if ctx is None:
+            raise SchedulingError(
+                "chare API used outside an entry-method execution"
+            )
+        ctx.charged += units
 
     def api_send(
         self,
@@ -460,7 +666,13 @@ class Kernel:
         args: tuple,
         priority: PriorityLike,
     ) -> None:
-        ctx = self.current
+        # self.current, inlined: send/charge/create are the hot chare APIs
+        # and the property descriptor costs a call frame per use.
+        ctx = self._current
+        if ctx is None:
+            raise SchedulingError(
+                "chare API used outside an entry-method execution"
+            )
         dst = self.placement.get(target.gid, "missing")
         if dst == "missing":
             raise RoutingError(f"send to unknown handle {target}")
@@ -490,11 +702,19 @@ class Kernel:
         pe: Optional[int],
         priority: PriorityLike,
     ) -> ChareHandle:
-        if not issubclass(chare_cls, Chare):
-            raise ConfigurationError(f"{chare_cls.__name__} is not a Chare subclass")
-        if issubclass(chare_cls, BranchOfficeChare):
-            raise ConfigurationError("use create_boc for branch-office chares")
-        ctx = self.current
+        if chare_cls not in self._validated_chare_classes:
+            if not issubclass(chare_cls, Chare):
+                raise ConfigurationError(
+                    f"{chare_cls.__name__} is not a Chare subclass"
+                )
+            if issubclass(chare_cls, BranchOfficeChare):
+                raise ConfigurationError("use create_boc for branch-office chares")
+            self._validated_chare_classes.add(chare_cls)
+        ctx = self._current
+        if ctx is None:
+            raise SchedulingError(
+                "chare API used outside an entry-method execution"
+            )
         gid = self._alloc_gid()
         handle = ChareHandle(gid)
         src = ctx.pe
@@ -640,7 +860,8 @@ class Kernel:
             args=args,
             boc=BocHandle(boc_id),
         )
-        self.current.outbox.append((self.current.charged, env))
+        ctx = self.current
+        ctx.outbox.append((ctx.charged, env))
 
     # -------------------------------------------------------------- reductions
     def api_contribute(
@@ -740,7 +961,8 @@ class Kernel:
             args=(tag, st["value"]),
             handle=st["target"],
         )
-        self.current.outbox.append((self.current.charged, env))
+        ctx = self.current
+        ctx.outbox.append((ctx.charged, env))
 
     def _require_placed(self, handle: ChareHandle) -> int:
         dst = self.placement.get(handle.gid)

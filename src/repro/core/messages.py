@@ -14,11 +14,17 @@ its sent/processed accounting: application-visible traffic is counted,
 runtime control traffic (QD waves, load-balancer control) is not, matching
 the paper's system design where quiescence means "no user computation and
 no user messages in flight".
+
+Envelopes are the most-allocated object in the simulator, so the dataclass
+is ``slots=True``, the wire size is computed once and cached, and ``uid``
+is *not* drawn from a module-global counter at construction — the owning
+kernel assigns uids at first delivery from its own sequence, so uid values
+are reproducible run-to-run and unaffected by other kernels in the same
+process.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Tuple
 
@@ -29,8 +35,6 @@ from repro.util.sizing import payload_nbytes
 __all__ = ["Kind", "Envelope", "HEADER_BYTES"]
 
 HEADER_BYTES = 32
-
-_envelope_ids = itertools.count(1)
 
 
 class Kind:
@@ -44,7 +48,7 @@ class Kind:
     NAMES = {APP: "app", SEED: "seed", BOC: "boc", SVC: "svc"}
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """One message in flight (or queued in a PE's pool)."""
 
@@ -73,7 +77,8 @@ class Envelope:
     # Piggybacked sender load (application-lane queue length at send time);
     # receivers feed this to the load balancer's neighbor-load table.
     carried_load: int = 0
-    uid: int = field(default_factory=lambda: next(_envelope_ids))
+    # Assigned by the owning kernel at first delivery; None until then.
+    uid: Optional[int] = None
     _size: Optional[int] = field(default=None, repr=False)
 
     @property
@@ -87,14 +92,18 @@ class Envelope:
         return self._size
 
     def forwarded(self, new_dst: int) -> "Envelope":
-        """A copy of a seed envelope re-routed to ``new_dst`` (one more hop)."""
+        """A copy of a seed envelope re-routed to ``new_dst`` (one more hop).
+
+        The copy's ``uid`` resets to None: the kernel stamps each delivery
+        leg with a fresh uid from its own sequence.
+        """
         return replace(
             self,
             src_pe=self.dst_pe,
             dst_pe=new_dst,
             hops=self.hops + 1,
             suppress_sent_count=True,
-            uid=next(_envelope_ids),
+            uid=None,
             _size=self._size,
         )
 

@@ -1,107 +1,177 @@
 """Per-processing-element scheduler state.
 
 A PE is either idle or executing exactly one entry method (message-driven,
-non-preemptive).  Its work sits in three queues, drained in this order:
+non-preemptive).  Its work sits in three lanes, drained in this order:
 
 1. the **system lane** (runtime control traffic — always FIFO),
-2. the **message pool** (messages to existing chares/BOC branches, ordered
+2. the **message lane** (messages to existing chares/BOC branches, ordered
    by the configured queueing strategy),
-3. the **seed pool** (new-chare seeds, same strategy class) — kept separate
+3. the **seed lane** (new-chare seeds, same strategy class) — kept separate
    so work-stealing balancers can extract seeds without disturbing
    in-progress conversations.
 
 The PE also carries its trace counters; :mod:`repro.trace` aggregates them.
+
+The lanes are held directly (a raw deque plus two strategy objects) rather
+than behind a pool facade, and their lengths are maintained incrementally
+(``_queued``/``_app_queued``/``_app_len`` updated on every enqueue/pop):
+``enqueue``/``next_envelope`` run once per simulated message and ``load``
+is piggybacked on every delivery, so each avoided Python-level ``len``/
+``__bool__``/facade dispatch is paid millions of times per run.  All lane
+mutations must go through this class — balancers use
+:meth:`steal_seed`/:meth:`requeue_seed`, never the lanes directly — or the
+counters drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import deque
 from typing import Optional
 
 from repro.core.messages import Envelope, Kind
-from repro.queueing.strategies import MessagePool, QueueStrategy, make_strategy
+from repro.queueing.strategies import QueueStrategy, make_strategy
 
 __all__ = ["PEState"]
 
+# Kind tags as module globals (cheaper than a class-attribute chain in the
+# per-message enqueue below).
+_SEED = Kind.SEED
+_SVC = Kind.SVC
 
-@dataclass
+
 class PEState:
     """All mutable state of one simulated processor."""
 
-    index: int
-    strategy_name: str = "fifo"
+    __slots__ = (
+        "index",
+        "strategy_name",
+        "busy",
+        "busy_until",
+        "gated",
+        "idle_notified",
+        "busy_time",
+        "msgs_executed",
+        "seeds_executed",
+        "system_executed",
+        "msgs_sent",
+        "bytes_sent",
+        "seeds_created",
+        "seeds_forwarded_in",
+        "charged_units",
+        "steal_attempts",
+        "steals_satisfied",
+        "max_queued",
+        "_system",
+        "_app",
+        "seed_pool",
+        "_queued",
+        "_app_queued",
+        "_app_len",
+    )
 
-    busy: bool = False
-    busy_until: float = 0.0
-    # Startup gate: until the init broadcast arrives (replicating read-only
-    # variables and shared-abstraction declarations), a PE services only its
-    # system lane.  This reproduces the Chare Kernel's startup phase.
-    gated: bool = True
-    # One balancer idle notification per burst of real work: set when the
-    # balancer has been told this PE is idle, cleared when it next executes
-    # application work.  Without this, idle-control messages (hints, steal
-    # probes) re-trigger on_idle and the control traffic feeds itself.
-    idle_notified: bool = False
+    def __init__(self, index: int, strategy_name: str = "fifo") -> None:
+        self.index = index
+        self.strategy_name = strategy_name
 
-    # Trace counters ------------------------------------------------------
-    busy_time: float = 0.0
-    msgs_executed: int = 0
-    seeds_executed: int = 0
-    system_executed: int = 0
-    msgs_sent: int = 0
-    bytes_sent: int = 0
-    seeds_created: int = 0
-    seeds_forwarded_in: int = 0   # seeds that arrived and were pushed on
-    charged_units: float = 0.0
-    steal_attempts: int = 0
-    steals_satisfied: int = 0
-    max_queued: int = 0   # high-water mark over both app lanes + seeds
+        self.busy = False
+        self.busy_until = 0.0
+        # Startup gate: until the init broadcast arrives (replicating
+        # read-only variables and shared-abstraction declarations), a PE
+        # services only its system lane.  This reproduces the Chare
+        # Kernel's startup phase.
+        self.gated = True
+        # One balancer idle notification per burst of real work: set when
+        # the balancer has been told this PE is idle, cleared when it next
+        # executes application work.  Without this, idle-control messages
+        # (hints, steal probes) re-trigger on_idle and the control traffic
+        # feeds itself.
+        self.idle_notified = False
 
-    def __post_init__(self) -> None:
-        self.msg_pool = MessagePool(make_strategy(self.strategy_name))
-        self.seed_pool: QueueStrategy = make_strategy(self.strategy_name)
+        # Trace counters --------------------------------------------------
+        self.busy_time = 0.0
+        self.msgs_executed = 0
+        self.seeds_executed = 0
+        self.system_executed = 0
+        self.msgs_sent = 0
+        self.bytes_sent = 0
+        self.seeds_created = 0
+        self.seeds_forwarded_in = 0   # seeds that arrived and were pushed on
+        self.charged_units = 0.0
+        self.steal_attempts = 0
+        self.steals_satisfied = 0
+        self.max_queued = 0   # high-water mark over all three lanes
+
+        self._system: deque = deque()
+        self._app: QueueStrategy = make_strategy(strategy_name)
+        self.seed_pool: QueueStrategy = make_strategy(strategy_name)
+        self._queued = 0        # everything queued (system + app + seeds)
+        self._app_queued = 0    # app lane + seeds (the balancer load metric)
+        self._app_len = 0       # app lane only (seeds = _app_queued - _app_len)
 
     # ------------------------------------------------------------------ queues
     def enqueue(self, env: Envelope) -> None:
         """Queue an arrived envelope in the right lane."""
-        if env.kind == Kind.SEED:
+        kind = env.kind
+        if kind == _SEED:
             self.seed_pool.push(env, env.priority)
-        elif env.system or env.kind == Kind.SVC:
-            self.msg_pool.push(env, env.priority, system=True)
+            self._app_queued += 1
+        elif env.system or kind == _SVC:
+            self._system.append(env)
         else:
-            self.msg_pool.push(env, env.priority)
-        queued = self.queued
+            self._app.push(env, env.priority)
+            self._app_len += 1
+            self._app_queued += 1
+        queued = self._queued = self._queued + 1
         if queued > self.max_queued:
             self.max_queued = queued
 
     def next_envelope(self) -> Optional[Envelope]:
         """Pop the next envelope per the service order, or None if drained.
 
-        While gated, only system-lane traffic is served.
+        While gated, only system-lane traffic is served.  Lane emptiness is
+        decided from the counters, so the common miss costs an int compare,
+        not a strategy ``__bool__``.
         """
+        system = self._system
+        if system:
+            self._queued -= 1
+            return system.popleft()
         if self.gated:
-            return self.msg_pool.pop_system()
-        if self.msg_pool:
-            return self.msg_pool.pop()
-        if self.seed_pool:
+            return None
+        if self._app_len:
+            self._app_len -= 1
+            self._queued -= 1
+            self._app_queued -= 1
+            return self._app.pop()
+        if self._app_queued:  # seeds remain
+            self._queued -= 1
+            self._app_queued -= 1
             return self.seed_pool.pop()
         return None
 
     def steal_seed(self) -> Optional[Envelope]:
         """Remove one seed for a work-stealing balancer (best-first)."""
-        if self.seed_pool:
+        if self._app_queued > self._app_len:
+            self._queued -= 1
+            self._app_queued -= 1
             return self.seed_pool.pop()
         return None
+
+    def requeue_seed(self, env: Envelope) -> None:
+        """Put a stolen-but-unmigratable seed back (keeps counters true)."""
+        self.seed_pool.push(env, env.priority)
+        self._queued += 1
+        self._app_queued += 1
 
     # ------------------------------------------------------------------- load
     @property
     def load(self) -> int:
         """The balancer's load metric: queued app work + busy flag."""
-        return self.msg_pool.app_len() + len(self.seed_pool) + (1 if self.busy else 0)
+        return self._app_queued + 1 if self.busy else self._app_queued
 
     @property
     def queued(self) -> int:
-        return len(self.msg_pool) + len(self.seed_pool)
+        return self._queued
 
     def has_work(self) -> bool:
-        return self.queued > 0
+        return self._queued > 0

@@ -97,6 +97,12 @@ class Machine:
     # Mutable per-run state: shared-bus occupancy and per-link occupancy.
     _bus_free_at: float = field(default=0.0, repr=False)
     _link_free_at: dict = field(default_factory=dict, repr=False)
+    # Memoized network costs (topologies are static, so these survive
+    # reset()): hop counts per (src, dst) pair, and the uncontended
+    # ``max(0, hops-1) * per_hop`` latency term per pair, so the common
+    # no-contention transit is a dict lookup plus one multiply-add.
+    _hops_table: dict = field(default_factory=dict, repr=False)
+    _hop_extra: dict = field(default_factory=dict, repr=False)
 
     @property
     def num_pes(self) -> int:
@@ -106,6 +112,14 @@ class Machine:
         """Clear per-run mutable state (bus and link occupancy)."""
         self._bus_free_at = 0.0
         self._link_free_at = {}
+
+    def hops(self, src: int, dst: int) -> int:
+        """Memoized :meth:`Topology.hops` (built lazily, keyed per pair)."""
+        key = (src, dst)
+        cached = self._hops_table.get(key)
+        if cached is None:
+            cached = self._hops_table[key] = self.topology.hops(src, dst)
+        return cached
 
     # ------------------------------------------------------------------ compute
     def compute_time(self, work_units: float, pe: int = 0) -> float:
@@ -130,8 +144,14 @@ class Machine:
             route = self.topology.route(src, dst)
             if route is not None:
                 return self._contended_transit(route, nbytes, depart)
-        hops = self.topology.hops(src, dst)
-        latency = p.alpha + nbytes * p.beta + max(0, hops - 1) * p.per_hop
+        key = (src, dst)
+        hop_extra = self._hop_extra.get(key)
+        if hop_extra is None:
+            # Same float expression as the unmemoized form: the sum below
+            # associates identically to alpha + nbytes*beta + max(...)*per_hop.
+            hop_extra = max(0, self.hops(src, dst) - 1) * p.per_hop
+            self._hop_extra[key] = hop_extra
+        latency = p.alpha + nbytes * p.beta + hop_extra
         if p.bus_bandwidth > 0.0:
             occupy = nbytes / p.bus_bandwidth
             start = max(depart, self._bus_free_at)

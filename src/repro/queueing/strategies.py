@@ -40,9 +40,17 @@ __all__ = [
 
 
 class QueueStrategy(ABC):
-    """Ordering policy for the application lane of a message pool."""
+    """Ordering policy for the application lane of a message pool.
+
+    Concrete strategies define ``__len__`` *and* ``__bool__`` directly on
+    their backing container — the scheduler truth-tests pools on every
+    message pickup, and routing that test through an abstract default
+    (``len(self) > 0`` dispatching back into the subclass) costs two
+    Python-level calls per event.
+    """
 
     name: str = "abstract"
+    __slots__ = ()
 
     @abstractmethod
     def push(self, item: Any, priority: PriorityLike = None) -> None:
@@ -56,7 +64,7 @@ class QueueStrategy(ABC):
     def __len__(self) -> int:
         """Number of queued items."""
 
-    def __bool__(self) -> bool:
+    def __bool__(self) -> bool:  # overridden by every concrete strategy
         return len(self) > 0
 
 
@@ -64,6 +72,7 @@ class FifoStrategy(QueueStrategy):
     """First-in first-out — Charm's default queueing."""
 
     name = "fifo"
+    __slots__ = ("_q",)
 
     def __init__(self) -> None:
         self._q: deque = deque()
@@ -79,11 +88,15 @@ class FifoStrategy(QueueStrategy):
     def __len__(self) -> int:
         return len(self._q)
 
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
 
 class LifoStrategy(QueueStrategy):
     """Last-in first-out — approximates depth-first expansion order."""
 
     name = "lifo"
+    __slots__ = ("_q",)
 
     def __init__(self) -> None:
         self._q: list = []
@@ -99,9 +112,14 @@ class LifoStrategy(QueueStrategy):
     def __len__(self) -> int:
         return len(self._q)
 
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
 
 class _HeapStrategy(QueueStrategy):
     """Shared machinery for prioritized strategies: stable binary heap."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -117,6 +135,9 @@ class _HeapStrategy(QueueStrategy):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
 
 
 class IntPriorityStrategy(_HeapStrategy):
@@ -145,6 +166,7 @@ class LifoPriorityStrategy(QueueStrategy):
     """
 
     name = "priolifo"
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list = []
@@ -163,6 +185,9 @@ class LifoPriorityStrategy(QueueStrategy):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
 
 
 STRATEGIES: Dict[str, Type[QueueStrategy]] = {
@@ -185,11 +210,19 @@ def make_strategy(name: str) -> QueueStrategy:
 
 
 class MessagePool:
-    """Two-lane pool: system FIFO lane + pluggable application lane."""
+    """Two-lane pool: system FIFO lane + pluggable application lane.
+
+    The pool keeps a live item count so ``len``/``bool``/``app_len`` — all
+    on the scheduler's per-message path — are attribute reads rather than
+    recomputed sums over both lanes.
+    """
+
+    __slots__ = ("_system", "_app", "_count", "max_len")
 
     def __init__(self, strategy: QueueStrategy | None = None) -> None:
         self._system: deque = deque()
         self._app = strategy if strategy is not None else FifoStrategy()
+        self._count = 0
         self.max_len = 0  # high-water mark, reported by the trace layer
 
     @property
@@ -201,27 +234,37 @@ class MessagePool:
             self._system.append(item)
         else:
             self._app.push(item, priority)
-        n = len(self)
+        n = self._count = self._count + 1
         if n > self.max_len:
             self.max_len = n
 
     def pop(self) -> Any:
         if self._system:
+            self._count -= 1
             return self._system.popleft()
-        return self._app.pop()
+        item = self._app.pop()
+        self._count -= 1
+        return item
 
     def pop_system(self) -> Optional[Any]:
         """Pop from the system lane only (startup gating); None if empty."""
         if self._system:
+            self._count -= 1
             return self._system.popleft()
         return None
 
+    def pop_app(self) -> Any:
+        """Pop from the application lane only; raises if empty."""
+        item = self._app.pop()
+        self._count -= 1
+        return item
+
     def app_len(self) -> int:
         """Application-lane length — the load metric balancers use."""
-        return len(self._app)
+        return self._count - len(self._system)
 
     def __len__(self) -> int:
-        return len(self._system) + len(self._app)
+        return self._count
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._count > 0

@@ -10,32 +10,62 @@ Design notes
   simulation must not rewrite history).
 * The engine neither knows nor cares about PEs or messages; the Chare
   Kernel runtime layers those semantics on top.
+
+Hot path
+--------
+Heap entries are plain 4-slot lists ``[time, seq, fn, arg]`` — ``heapq``
+compares them element-wise and the unique ``seq`` guarantees the comparison
+never reaches ``fn``.  :meth:`Engine.schedule_call` is the closure-free
+fast path: the kernel passes a bound method plus its payload and the loop
+invokes ``fn(arg)`` directly, so per-message scheduling allocates one small
+list and nothing else (no Event object, no lambda cell, no dataclass
+comparison machinery).  :meth:`Engine.schedule` keeps the zero-arg callback
+API and returns a cancellable :class:`Event` handle for the rare callers
+that need one.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.util.errors import SchedulingError
 
 __all__ = ["Event", "Engine"]
 
+#: Sentinel distinguishing "call fn()" from "call fn(arg)" heap entries.
+_NO_ARG = object()
 
-@dataclass(order=True)
-class Event:
-    """A scheduled callback.  Ordered by (time, seq) for determinism."""
 
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+class Event(list):
+    """A cancellable handle over one heap entry ``[time, seq, fn, arg]``.
+
+    Subclassing ``list`` keeps the heap homogeneous: plain fast-path
+    entries and cancellable ones compare with the same C-level logic.
+    Cancellation nulls the callback slot in place; the engine skips (and
+    drops) dead entries when they surface at the heap front.
+    """
+
+    __slots__ = ("_engine",)
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
         """Mark the event dead; it will be skipped when popped."""
-        self.cancelled = True
+        if self[2] is not None:
+            self[2] = None
+            self[3] = _NO_ARG
+            self._engine._live -= 1
 
 
 class Engine:
@@ -50,10 +80,11 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list = []
+        self._seq = 0
         self._now = 0.0
         self._events_fired = 0
+        self._live = 0
         self._running = False
 
     # ------------------------------------------------------------------ clock
@@ -69,8 +100,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired (possibly cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired live events (O(1) counter)."""
+        return self._live
 
     def advance_to(self, time: float) -> None:
         """Move the clock forward without firing events (never backward)."""
@@ -79,14 +110,35 @@ class Engine:
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, time: float, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` at absolute virtual time ``time``."""
+        """Schedule ``fn`` at absolute virtual time ``time``.
+
+        Returns a cancellable :class:`Event`.  Prefer
+        :meth:`schedule_call` in hot paths that don't need cancellation.
+        """
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        ev = Event(float(time), next(self._seq), fn)
+        ev = Event((float(time), self._seq, fn, _NO_ARG))
+        ev._engine = self
+        self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    def schedule_call(self, time: float, fn: Callable[[Any], None], arg: Any) -> None:
+        """Closure-free fast path: at ``time``, invoke ``fn(arg)``.
+
+        No Event handle is created (the entry cannot be cancelled); the
+        kernel uses this for every message arrival and PE completion.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        heapq.heappush(self._heap, [time, self._seq, fn, arg])
+        self._seq += 1
+        self._live += 1
 
     def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` after a nonnegative ``delay`` from now."""
@@ -97,13 +149,20 @@ class Engine:
     # --------------------------------------------------------------- execution
     def step(self) -> bool:
         """Fire the single next live event.  Returns False if none remain."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            fn = entry[2]
+            if fn is None:
                 continue
-            self._now = ev.time
+            self._now = entry[0]
             self._events_fired += 1
-            ev.fn()
+            self._live -= 1
+            arg = entry[3]
+            if arg is _NO_ARG:
+                fn()
+            else:
+                fn(arg)
             return True
         return False
 
@@ -120,18 +179,36 @@ class Engine:
         if self._running:
             raise SchedulingError("Engine.run is not reentrant")
         self._running = True
+        heap = self._heap
         fired = 0
         try:
-            while self._heap:
+            if until is None and max_events is None:
+                # The common drain-everything case: one tight loop, no
+                # per-event horizon/budget checks.
+                while heap:
+                    entry = heapq.heappop(heap)
+                    fn = entry[2]
+                    if fn is None:
+                        continue
+                    self._now = entry[0]
+                    self._events_fired += 1
+                    self._live -= 1
+                    arg = entry[3]
+                    if arg is _NO_ARG:
+                        fn()
+                    else:
+                        fn(arg)
+                return
+            while heap:
                 if max_events is not None and fired >= max_events:
                     return
-                # Peek for the horizon check without popping dead events
+                # Peek for the horizon check without popping live events
                 # prematurely — cancelled events at the front are free to drop.
-                while self._heap and self._heap[0].cancelled:
-                    heapq.heappop(self._heap)
-                if not self._heap:
+                while heap and heap[0][2] is None:
+                    heapq.heappop(heap)
+                if not heap:
                     return
-                if until is not None and self._heap[0].time > until:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     return
                 if self.step():

@@ -33,7 +33,41 @@ def payload_nbytes(obj: Any) -> int:
     (nested) tuples/lists/dicts/sets of those.  Unknown objects fall back to
     a flat 64-byte estimate (e.g. chare handles, small records), which keeps
     the model total and deterministic.
+
+    Every envelope is sized exactly once, so this sits on the kernel's
+    per-message hot path: exact builtin types dispatch on ``type(obj)``
+    (no subclass ambiguity — ``type(True) is int`` is False) and only
+    subclasses, numpy values and containers of them pay the full
+    isinstance chain in :func:`_general_nbytes`, which returns identical
+    values for the fast-pathed types.
     """
+    t = type(obj)
+    if t is int:
+        return max(_INT_BYTES, (obj.bit_length() + 7) // 8)
+    if t is float:
+        return _FLOAT_BYTES
+    if t is tuple or t is list:
+        total = _FRAME_BYTES
+        for x in obj:
+            total += payload_nbytes(x)
+        return total
+    if t is str:
+        return _FRAME_BYTES + len(obj.encode("utf-8"))
+    if t is bool:
+        return _BOOL_BYTES
+    if obj is None:
+        return _NONE_BYTES
+    # Objects with an explicit wire size (chare/BOC handles ride in almost
+    # every seed payload) skip the isinstance chain; builtin subclasses
+    # never define __wire_size__, so this cannot shadow the chain's answer.
+    sizer = getattr(obj, "__wire_size__", None)
+    if sizer is not None:
+        return int(sizer())
+    return _general_nbytes(obj)
+
+
+def _general_nbytes(obj: Any) -> int:
+    """The full (subclass-tolerant) size model; order mirrors the original."""
     if obj is None:
         return _NONE_BYTES
     if isinstance(obj, bool):

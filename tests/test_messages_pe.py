@@ -33,12 +33,43 @@ def test_forwarded_seed_bumps_hops_and_suppresses_count():
         kind=Kind.SEED, src_pe=0, dst_pe=3, entry="__init__",
         handle=ChareHandle(5), hops=1,
     )
+    env.uid = 7  # pretend a kernel already stamped the first leg
     fwd = env.forwarded(6)
     assert (fwd.src_pe, fwd.dst_pe, fwd.hops) == (3, 6, 2)
     assert fwd.suppress_sent_count
-    assert fwd.uid != env.uid
+    assert fwd.uid is None  # fresh leg: the kernel stamps it at delivery
     assert fwd.handle == env.handle
     assert not env.suppress_sent_count
+
+
+def test_envelope_uid_is_kernel_assigned_not_global():
+    """Construction must not draw from any global counter; the owning
+    kernel allocates uids, so uid streams are reproducible run-to-run and
+    unaffected by other kernels in the same process."""
+    from repro import Kernel, entry, make_machine
+    from repro.core.chare import Chare
+
+    assert Envelope(kind=Kind.APP, src_pe=0, dst_pe=1, entry="go").uid is None
+
+    class Main(Chare):
+        def __init__(self):
+            self.send(self.thishandle, "step", 0)
+
+        @entry
+        def step(self, i):
+            if i >= 3:
+                self.exit(i)
+            else:
+                self.send(self.thishandle, "step", i + 1)
+
+    def uid_high_water():
+        kernel = Kernel(make_machine("ideal", 2))
+        kernel.run(Main)
+        return kernel._next_uid
+
+    first = uid_high_water()
+    # A second kernel in the same process sees the identical uid stream.
+    assert uid_high_water() == first
 
 
 def test_envelope_repr_mentions_kind():
