@@ -48,6 +48,7 @@ from repro.core import (
     RunResult,
     entry,
 )
+from repro.faults import FaultConfig, FaultLayer
 from repro.machine import Machine, MachineParams, MACHINE_PRESETS, make_machine
 from repro.machine.topology import make_topology
 from repro.balance import BALANCERS, make_balancer
@@ -65,6 +66,8 @@ __all__ = [
     "Kernel",
     "RunResult",
     "entry",
+    "FaultConfig",
+    "FaultLayer",
     "Machine",
     "MachineParams",
     "MACHINE_PRESETS",

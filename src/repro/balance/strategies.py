@@ -188,7 +188,7 @@ class TokenBalancer(Balancer):
             if kernel.pes[pe].has_work() or self._attempts[pe] >= self.max_attempts:
                 return
             delay = self.backoff * self._attempts[pe]
-            kernel.engine.schedule_after(delay, lambda: self._retry(pe))
+            kernel.engine.schedule_call(kernel.now + delay, self._retry, pe)
         else:  # pragma: no cover - defensive
             super().handle(pe, op, args)
 

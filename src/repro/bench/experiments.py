@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Sequence
 from repro.apps import TreeParams
 from repro.bench.harness import APPS, measure, speedup_sweep
 from repro.bench.tables import format_series, format_table
+from repro.faults import FaultConfig
 from repro.util.errors import ConfigurationError
 
 __all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
@@ -476,6 +477,135 @@ def exp_f3(scale: str = "paper") -> ExperimentResult:
                             "\n".join(lines), data)
 
 
+# ------------------------------------------------------------------------ R1
+def exp_r1(scale: str = "paper") -> ExperimentResult:
+    """Resilience: completion time vs message-drop rate (repro.faults).
+
+    The message-driven model's robustness claim: because no chare blocks
+    waiting for a specific message, an unreliable network costs latency,
+    not correctness.  Counted messages ride the kernel's ack/timeout/retry
+    protocol with idempotent receive, so every run must produce the exact
+    fault-free answer and quiescence detection must still terminate —
+    completion time should degrade gracefully as the drop rate climbs.
+    """
+    pes = 8 if scale == "quick" else 16
+    sizes = _sizes(scale)
+    drop_rates = [0.0, 0.02, 0.05, 0.10, 0.15]
+    headers = ["program", "drop %", "time (ms)", "slowdown", "retries",
+               "dropped", "deduped", "QD waves"]
+    rows = []
+    data: Dict[str, Any] = {"machine": "ncube2", "pes": pes,
+                            "drop_rates": drop_rates, "apps": {}}
+    for app in ("fib", "queens"):
+        base_time = None
+        base_answer = None
+        series = []
+        for rate in drop_rates:
+            kwargs = dict(sizes.get(app, {}))
+            if rate > 0.0:
+                kwargs["faults"] = FaultConfig(drop_prob=rate)
+            row = measure(app, "ncube2", pes, **kwargs)
+            st = row.result.stats
+            assert not row.result.truncated, (
+                f"{app} hung at drop rate {rate} (run truncated)")
+            if base_time is None:
+                base_time, base_answer = row.vtime, row.answer
+            assert row.answer == base_answer, (
+                f"{app} answer corrupted at drop rate {rate}: "
+                f"{row.answer!r} != {base_answer!r}")
+            if st.qd_waves:
+                assert st.qd_detected_at is not None, (
+                    f"{app} QD failed to terminate at drop rate {rate}")
+            slowdown = row.vtime / base_time if base_time > 0 else 0.0
+            rows.append([app, round(rate * 100, 1), row.vtime_ms,
+                         round(slowdown, 2), st.retries, st.msgs_dropped,
+                         st.dups_suppressed, st.qd_waves])
+            series.append({
+                "drop": rate,
+                "time": row.vtime,
+                "slowdown": slowdown,
+                "retries": st.retries,
+                "dropped": st.msgs_dropped,
+                "deduped": st.dups_suppressed,
+                "qd_waves": st.qd_waves,
+                "answer_ok": True,
+            })
+        data["apps"][app] = series
+    return ExperimentResult(
+        "R1",
+        "resilience under message drops",
+        format_table(
+            headers, rows,
+            title=f"Completion time vs drop rate on ncube2, P={pes} "
+            "(answers identical to fault-free in every run)",
+        ),
+        data,
+    )
+
+
+# ------------------------------------------------------------------------ R2
+def exp_r2(scale: str = "paper") -> ExperimentResult:
+    """Resilience: latency faults — delay spikes, jitter, dups, stalls.
+
+    The non-loss fault family: nothing is retransmitted, so the only
+    effect is perturbed timing (plus dedup work for duplicates).  Answers
+    must match the fault-free run at every severity.
+    """
+    pes = 8 if scale == "quick" else 16
+    sizes = _sizes(scale)
+    levels = [
+        ("none", None),
+        ("light", FaultConfig(delay_prob=0.02, jitter=10e-6, dup_prob=0.01)),
+        ("moderate", FaultConfig(delay_prob=0.08, jitter=30e-6, dup_prob=0.04,
+                                 stall_prob=0.005)),
+        ("heavy", FaultConfig(delay_prob=0.20, jitter=80e-6, dup_prob=0.10,
+                              stall_prob=0.02, slow_pes=(1,),
+                              slow_factor=2.0)),
+    ]
+    headers = ["program", "severity", "time (ms)", "slowdown", "delayed",
+               "dup'd", "deduped", "stalls"]
+    rows = []
+    data: Dict[str, Any] = {"machine": "ncube2", "pes": pes, "apps": {}}
+    for app in ("fib", "queens"):
+        base_time = None
+        base_answer = None
+        series = []
+        for label, cfg in levels:
+            kwargs = dict(sizes.get(app, {}))
+            if cfg is not None:
+                kwargs["faults"] = cfg
+            row = measure(app, "ncube2", pes, **kwargs)
+            st = row.result.stats
+            assert not row.result.truncated, f"{app} hung at severity {label}"
+            if base_time is None:
+                base_time, base_answer = row.vtime, row.answer
+            assert row.answer == base_answer, (
+                f"{app} answer corrupted at severity {label}")
+            slowdown = row.vtime / base_time if base_time > 0 else 0.0
+            rows.append([app, label, row.vtime_ms, round(slowdown, 2),
+                         st.msgs_delayed, st.msgs_duplicated,
+                         st.dups_suppressed, st.stalls])
+            series.append({
+                "severity": label,
+                "time": row.vtime,
+                "slowdown": slowdown,
+                "delayed": st.msgs_delayed,
+                "duplicated": st.msgs_duplicated,
+                "deduped": st.dups_suppressed,
+                "stalls": st.stalls,
+            })
+        data["apps"][app] = series
+    return ExperimentResult(
+        "R2",
+        "resilience under latency faults",
+        format_table(
+            headers, rows,
+            title=f"Delay/jitter/dup/stall severities on ncube2, P={pes}",
+        ),
+        data,
+    )
+
+
 def _ablation(name: str) -> Callable[..., ExperimentResult]:
     def runner(scale: str = "paper") -> ExperimentResult:
         from repro.bench import ablations
@@ -504,6 +634,8 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "f1": exp_f1,
     "f2": exp_f2,
     "f3": exp_f3,
+    "r1": exp_r1,
+    "r2": exp_r2,
 }
 
 

@@ -38,15 +38,23 @@ GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
 
 # --------------------------------------------------------------- measurement
 def _best_rate(fn: Callable[[], int], repeats: int = 5) -> float:
-    """ops/s over the best of ``repeats`` runs (min-time, standard practice)."""
-    best = float("inf")
-    ops = 0
+    """ops/s over the best of ``repeats`` runs (max-rate, standard practice).
+
+    Each run's op count is paired with *its own* timing — ``fn`` may return
+    a different count per run, so pairing the last count with the fastest
+    time would fabricate a rate no run achieved.  Runs too fast for the
+    clock to resolve (dt == 0) carry no rate information and are skipped;
+    if every run degenerates the result is 0.0, not inf (which would poison
+    the JSON artifact — ``json.dump`` emits ``Infinity``, invalid JSON).
+    """
+    best = 0.0
     for _ in range(repeats):
         t0 = time.perf_counter()
         ops = fn()
         dt = time.perf_counter() - t0
-        best = min(best, dt)
-    return ops / best if best > 0 else float("inf")
+        if dt > 0.0:
+            best = max(best, ops / dt)
+    return best
 
 
 def _engine_events() -> int:

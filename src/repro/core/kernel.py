@@ -105,6 +105,7 @@ class Kernel:
         strict_entries: bool = True,
         spanning_tree: str = "auto",
         timeline: bool = False,
+        faults: Any = None,
     ) -> None:
         from repro.sim.engine import Engine  # local import: keep core light
         from repro.balance import make_balancer
@@ -161,6 +162,25 @@ class Kernel:
         self.pes: List[PEState] = [
             PEState(i, strategy_name=queueing) for i in range(machine.num_pes)
         ]
+
+        # Fault injection (repro.faults): accepts a FaultConfig or an
+        # already-built FaultLayer; None keeps the fault-free fast path
+        # (the hooks below cost one `is None` check per message each).
+        if faults is None:
+            self.faults = None
+        else:
+            from repro.faults import FaultConfig, FaultLayer
+
+            if isinstance(faults, FaultConfig):
+                faults = FaultLayer(faults)
+            elif not isinstance(faults, FaultLayer):
+                raise ConfigurationError(
+                    "faults must be a FaultConfig or FaultLayer, "
+                    f"not {type(faults).__name__}"
+                )
+            faults.bind(self)
+            self.faults = faults
+        self._faults = self.faults
         # Quiescence accounting (counted messages only).
         self.counted_sent: List[int] = [0] * machine.num_pes
         self.counted_processed: List[int] = [0] * machine.num_pes
@@ -364,18 +384,25 @@ class Kernel:
         if env.counted and not env.suppress_sent_count:
             self.counted_sent[src_pe] += 1
         dst_pe = env.dst_pe
+        faults = self._faults
         if src_pe == dst_pe:
             # Local fast path: zero hops and a fixed enqueue latency — skip
             # the topology/hop accounting and the contention machinery
             # (Machine.transit_time returns local_alpha unconditionally for
             # src == dst, so virtual time is unchanged).
-            self._schedule_call(
-                departure + self._local_alpha, self._arrive_cb, env
-            )
+            if faults is None:
+                self._schedule_call(
+                    departure + self._local_alpha, self._arrive_cb, env
+                )
+            else:
+                faults.transmit(env, departure, departure + self._local_alpha)
             return
         self.total_message_hops += self._hops(src_pe, dst_pe)
         transit = self._transit_time(src_pe, dst_pe, nbytes, departure)
-        self._schedule_call(departure + transit, self._arrive_cb, env)
+        if faults is None:
+            self._schedule_call(departure + transit, self._arrive_cb, env)
+        else:
+            faults.transmit(env, departure, departure + transit)
 
     def _arrive(self, env: Envelope) -> None:
         """An envelope reached its destination PE's pool."""
@@ -507,6 +534,9 @@ class Kernel:
             duration = base + charged * wut
         else:
             duration = base + self.machine.compute_time(charged, pe.index)
+        faults = self._faults
+        if faults is not None:
+            duration = faults.perturb_execution(pe.index, start, duration)
         pe.busy_time += duration
         pe.charged_units += charged
         if kind == _APP and not env.system:

@@ -61,6 +61,13 @@ class PEState:
         "steal_attempts",
         "steals_satisfied",
         "max_queued",
+        "msgs_dropped",
+        "msgs_delayed",
+        "msgs_duplicated",
+        "dups_suppressed",
+        "retries",
+        "stalls",
+        "stall_time",
         "_system",
         "_app",
         "seed_pool",
@@ -100,6 +107,18 @@ class PEState:
         self.steal_attempts = 0
         self.steals_satisfied = 0
         self.max_queued = 0   # high-water mark over all three lanes
+
+        # Fault-injection counters (always zero without a fault layer).
+        # Loss/delay/dup counters are charged to the *destination* PE (the
+        # message toward it was perturbed); retries to the sender; stalls
+        # to the stalled PE.  See repro.faults.
+        self.msgs_dropped = 0
+        self.msgs_delayed = 0
+        self.msgs_duplicated = 0
+        self.dups_suppressed = 0
+        self.retries = 0
+        self.stalls = 0
+        self.stall_time = 0.0
 
         self._system: deque = deque()
         self._app: QueueStrategy = make_strategy(strategy_name)

@@ -1,0 +1,23 @@
+"""Deterministic fault injection for the simulated machine.
+
+The 1991 paper's core claim is that message-driven execution is robust to
+latency and load variance *by construction*: a chare program never waits on
+a specific message, so perturbing when (or whether) individual messages
+arrive should degrade completion time smoothly rather than break the
+program.  This subsystem lets an experiment put that claim under load.
+
+A :class:`~repro.faults.models.FaultConfig` describes the fault models to
+inject at the network/PE boundary — message delay spikes and jitter,
+message drop backed by a kernel-level ack/timeout/retry protocol, duplicate
+delivery with idempotent-receive dedup, and PE slowdown / transient-stall
+models.  Pass it to ``Kernel(machine, faults=FaultConfig(...))``.
+
+Everything is driven by :class:`~repro.util.rng.RngStream` children of a
+root seed, so a run with the same seed and fault config is bit-identical.
+With no config installed the kernel pays a single ``is None`` check per
+message and nothing else (see docs/architecture.md, "Faults & resilience").
+"""
+
+from repro.faults.models import FaultConfig, FaultLayer, ACK_BYTES
+
+__all__ = ["FaultConfig", "FaultLayer", "ACK_BYTES"]

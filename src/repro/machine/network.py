@@ -159,6 +159,24 @@ class Machine:
             latency += (start - depart) + occupy
         return latency
 
+    def control_transit(self, src: int, dst: int, nbytes: int) -> float:
+        """Latency of a tiny kernel-level control packet (acks, nacks).
+
+        Control echoes ride the network's flow-control channel: they pay
+        the full alpha/beta/per-hop latency but never occupy the modeled
+        bus or links (hardware-level acks do not queue behind data).  Used
+        by the fault layer's retry protocol (:mod:`repro.faults`).
+        """
+        p = self.params
+        if src == dst:
+            return p.local_alpha
+        key = (src, dst)
+        hop_extra = self._hop_extra.get(key)
+        if hop_extra is None:
+            hop_extra = max(0, self.hops(src, dst) - 1) * p.per_hop
+            self._hop_extra[key] = hop_extra
+        return p.alpha + nbytes * p.beta + hop_extra
+
     def _contended_transit(self, route, nbytes: int, depart: float) -> float:
         """Store-and-forward traversal queuing on each directed link."""
         p = self.params

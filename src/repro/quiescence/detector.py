@@ -69,6 +69,15 @@ class QuiescenceService(Service):
         if self._callback is None:  # detection already fired
             return
         self._wave += 1
+        # Purge partial aggregation state left by superseded waves.  A
+        # normal wave drains itself (the root entry is deleted when its
+        # subtree completes), but a wave abandoned mid-flight must not
+        # leak its entries forever — and a late straggler from it must
+        # never fold into the new wave's totals.
+        if self._agg:
+            wave = self._wave
+            for key in [k for k in self._agg if k[0] < wave]:
+                del self._agg[key]
         self.waves_run += 1
         self.send(0, 0, "req", (self._wave,))
 
@@ -103,6 +112,8 @@ class QuiescenceService(Service):
             raise QuiescenceError(f"unknown QD op {op!r}")
 
     def _fold(self, wave: int, pe: int, sent: int, processed: int, idle: bool) -> None:
+        if wave != self._wave:
+            return  # straggler from a superseded wave: never mix totals
         kernel = self.kernel
         key = (wave, pe)
         st = self._agg.get(key)
@@ -139,6 +150,7 @@ class QuiescenceService(Service):
             target, entry = self._callback  # type: ignore[misc]
             self._callback = None
             self._prev_totals = None
+            self._agg.clear()
             self.detected_at = kernel.now
             self.work_end_at_detection = kernel.last_counted_exec_time
             kernel.send_app_from_service(0, target, entry, ())

@@ -30,6 +30,16 @@ class PERow:
     max_pool: int
     steal_attempts: int
     steals_satisfied: int
+    # Fault-injection counters (zero unless a repro.faults layer was
+    # installed): perturbed deliveries toward this PE, retransmissions it
+    # originated, and transient stalls it suffered.
+    msgs_dropped: int = 0
+    msgs_delayed: int = 0
+    msgs_duplicated: int = 0
+    dups_suppressed: int = 0
+    retries: int = 0
+    stalls: int = 0
+    stall_time: float = 0.0
 
 
 @dataclass
@@ -51,6 +61,18 @@ class TraceReport:
     mono_updates_applied: int = 0
     lb_control_msgs: int = 0
     lb_seeds_remote: int = 0
+    # Fault-injection aggregates (repro.faults); faults_enabled is False
+    # (and every counter zero) when no fault layer was installed.
+    faults_enabled: bool = False
+    fault_config: str = ""
+    msgs_dropped: int = 0
+    msgs_delayed: int = 0
+    msgs_duplicated: int = 0
+    dups_suppressed: int = 0
+    retries: int = 0
+    acks_sent: int = 0
+    acks_lost: int = 0
+    stalls: int = 0
 
     # ----------------------------------------------------------------- builders
     @classmethod
@@ -73,7 +95,29 @@ class TraceReport:
                     max_pool=pe.max_queued,
                     steal_attempts=pe.steal_attempts,
                     steals_satisfied=pe.steals_satisfied,
+                    msgs_dropped=pe.msgs_dropped,
+                    msgs_delayed=pe.msgs_delayed,
+                    msgs_duplicated=pe.msgs_duplicated,
+                    dups_suppressed=pe.dups_suppressed,
+                    retries=pe.retries,
+                    stalls=pe.stalls,
+                    stall_time=pe.stall_time,
                 )
+            )
+        faults = getattr(kernel, "faults", None)
+        fault_kwargs = {}
+        if faults is not None:
+            fault_kwargs = dict(
+                faults_enabled=True,
+                fault_config=faults.config.describe(),
+                msgs_dropped=faults.msgs_dropped,
+                msgs_delayed=faults.msgs_delayed,
+                msgs_duplicated=faults.msgs_duplicated,
+                dups_suppressed=faults.dups_suppressed,
+                retries=faults.retries,
+                acks_sent=faults.acks_sent,
+                acks_lost=faults.acks_lost,
+                stalls=faults.stalls,
             )
         return cls(
             machine=kernel.machine.name,
@@ -91,6 +135,7 @@ class TraceReport:
             mono_updates_applied=kernel.sharing.mono_updates_applied,
             lb_control_msgs=kernel.balancer.control_msgs,
             lb_seeds_remote=kernel.balancer.seeds_placed_remote,
+            **fault_kwargs,
         )
 
     # ---------------------------------------------------------------- accessors
@@ -139,6 +184,18 @@ class TraceReport:
             "qd_waves": self.qd_waves,
             "lb_control": self.lb_control_msgs,
             "lb_remote_seeds": self.lb_seeds_remote,
+            "faults": {
+                "enabled": self.faults_enabled,
+                "config": self.fault_config,
+                "dropped": self.msgs_dropped,
+                "delayed": self.msgs_delayed,
+                "duplicated": self.msgs_duplicated,
+                "dups_suppressed": self.dups_suppressed,
+                "retries": self.retries,
+                "acks_sent": self.acks_sent,
+                "acks_lost": self.acks_lost,
+                "stalls": self.stalls,
+            },
         }
 
     def summary(self) -> str:
@@ -154,4 +211,11 @@ class TraceReport:
             f"  mean utilization  : {d['mean_util'] * 100:9.1f} %",
             f"  load imbalance    : {d['imbalance']:10.3f}",
         ]
+        if self.faults_enabled:
+            lines.append(
+                f"  faults [{self.fault_config}]: "
+                f"dropped={self.msgs_dropped} retries={self.retries} "
+                f"delayed={self.msgs_delayed} dup={self.msgs_duplicated} "
+                f"deduped={self.dups_suppressed} stalls={self.stalls}"
+            )
         return "\n".join(lines)

@@ -96,9 +96,12 @@ class Timeline:
         for iv in self._intervals:
             if kinds is not None and iv.kind not in kinds:
                 continue
-            b0 = int((iv.start - lo) / width)
-            b1 = int((iv.end - lo) / width)
-            for b in range(b0, min(b1, buckets - 1) + 1):
+            # Clamp both endpoints into range: an interval starting (or a
+            # zero-duration interval sitting) exactly at ``hi`` computes
+            # bucket == buckets and would otherwise be silently dropped.
+            b0 = min(int((iv.start - lo) / width), buckets - 1)
+            b1 = min(int((iv.end - lo) / width), buckets - 1)
+            for b in range(b0, b1 + 1):
                 w_lo = lo + b * width
                 w_hi = w_lo + width
                 busy[b] += max(0.0, min(iv.end, w_hi) - max(iv.start, w_lo))
@@ -150,7 +153,7 @@ class Timeline:
         for iv in self._intervals:
             if iv.pe not in grid:
                 continue
-            c0 = int((iv.start - lo) / cell)
+            c0 = min(width - 1, int((iv.start - lo) / cell))
             c1 = min(width - 1, int((iv.end - lo) / cell))
             mark = "+" if iv.kind == "svc" else "#"
             for c in range(c0, c1 + 1):

@@ -33,3 +33,7 @@ class QuiescenceError(CharmError):
 
 class SharingError(CharmError):
     """Misuse of an information-sharing abstraction (e.g. double write-once)."""
+
+
+class FaultError(CharmError):
+    """Fault-injection misconfiguration, or the retry safety valve tripped."""

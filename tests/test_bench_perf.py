@@ -1,0 +1,55 @@
+"""Host-throughput reporter: the `_best_rate` pairing/degenerate fixes."""
+
+import json
+import time
+
+import pytest
+
+from repro.bench.perf import _best_rate
+
+
+class _Clock:
+    """Scripted replacement for time.perf_counter."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def __call__(self):
+        return self._values.pop(0)
+
+
+def test_best_rate_pairs_ops_with_their_own_timing(monkeypatch):
+    """A fast run with few ops must not borrow a slow run's op count.
+
+    Run 1: 100 ops in 1.0 s (100/s).  Run 2: 5 ops in 0.1 s (50/s).  The
+    old code paired the *last* ops (5) with the *best* time (0.1) — a rate
+    of 50/s; worse pairings could fabricate rates no run achieved.  The
+    answer is the best per-run rate: 100/s.
+    """
+    monkeypatch.setattr(time, "perf_counter", _Clock([0.0, 1.0, 1.0, 1.1]))
+    ops = iter([100, 5])
+    assert _best_rate(lambda: next(ops), repeats=2) == pytest.approx(100.0)
+
+
+def test_best_rate_takes_max_rate(monkeypatch):
+    monkeypatch.setattr(time, "perf_counter",
+                        _Clock([0.0, 2.0, 2.0, 2.5, 2.5, 3.5]))
+    ops = iter([10, 10, 10])
+    # Rates: 5/s, 20/s, 10/s -> 20/s.
+    assert _best_rate(lambda: next(ops), repeats=3) == pytest.approx(20.0)
+
+
+def test_best_rate_zero_duration_guarded(monkeypatch):
+    """Runs the clock cannot resolve yield 0.0, not inf (JSON-safe)."""
+    monkeypatch.setattr(time, "perf_counter", _Clock([1.0, 1.0, 1.0, 1.0]))
+    rate = _best_rate(lambda: 1000, repeats=2)
+    assert rate == 0.0
+    assert json.loads(json.dumps({"r": rate}))["r"] == 0.0
+
+
+def test_best_rate_skips_only_degenerate_runs(monkeypatch):
+    monkeypatch.setattr(time, "perf_counter",
+                        _Clock([0.0, 0.0, 0.0, 0.5]))
+    ops = iter([100, 100])
+    # First run unresolvable, second gives 200/s.
+    assert _best_rate(lambda: next(ops), repeats=2) == pytest.approx(200.0)

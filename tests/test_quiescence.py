@@ -156,3 +156,32 @@ def test_waves_counted_and_uncounted_separate(ipsc8):
     # QD ran and its traffic is in system counters, not app counters.
     assert result.stats.qd_waves >= 2
     assert result.stats.counted_sent == result.stats.counted_processed
+
+
+@pytest.mark.parametrize("machine_name,pes", [
+    ("ideal", 4), ("ipsc2", 16),
+])
+def test_agg_drained_at_shutdown(machine_name, pes):
+    """No partial wave-aggregation state may outlive the run."""
+    kernel = Kernel(make_machine(machine_name, pes), seed=2)
+    result = kernel.run(QdMain, 3, 3)
+    assert result.result is not None
+    assert kernel.qd._agg == {}
+
+
+def test_stale_wave_contributions_ignored(ideal4):
+    """A straggler from a superseded wave must not fold into the current
+    wave's totals, and superseded partial state is purged at wave start."""
+    kernel = Kernel(ideal4, seed=0)
+    kernel.run(QdMain, 2, 2)
+    qd = kernel.qd
+    # A late 'up' carrying an old wave number is dropped outright.
+    qd._fold(qd._wave - 1, 0, 5, 5, True)
+    assert qd._agg == {}
+    # Leaked partial state from an abandoned wave is purged on wave start.
+    qd._agg[(qd._wave - 2, 1)] = {"sent": 1, "processed": 0, "idle": False,
+                                  "have": 1, "need": 2}
+    qd._callback = (None, "quiet")   # re-arm so _start_wave proceeds
+    qd._start_wave()
+    assert (qd._wave - 3, 1) not in qd._agg
+    assert all(w == qd._wave for w, _ in qd._agg)

@@ -94,3 +94,29 @@ def test_empty_timeline():
 def test_interval_end_property():
     iv = Interval(0, 1.0, 0.5, "app", "x")
     assert iv.end == 1.5
+
+
+def test_interval_ending_exactly_on_span_boundary():
+    """An interval closing the span lands in the last bucket, fully counted."""
+    tl = Timeline()
+    tl._intervals.append(Interval(0, 0.0, 0.5, "app", "a"))
+    tl._intervals.append(Interval(0, 0.75, 0.25, "app", "b"))  # ends at hi
+    profile = tl.utilization_profile(buckets=4)
+    assert profile == pytest.approx([1.0, 1.0, 0.0, 1.0])
+
+
+def test_zero_duration_interval_at_span_end_not_dropped():
+    """Regression: a zero-duration execution sitting exactly at ``hi``
+    computed bucket/cell == count and fell off the grid entirely.  The PE
+    whose only activity is that execution must still show a mark."""
+    tl = Timeline()
+    tl._intervals.append(Interval(0, 0.0, 1.0, "app", "work"))   # defines span
+    tl._intervals.append(Interval(1, 1.0, 0.0, "svc", "tick"))   # at hi, PE 1
+    # Profile: must index the last bucket (adds 0 width), not drop or crash.
+    profile = tl.utilization_profile(buckets=5)
+    assert len(profile) == 5
+    # Render: PE 1's row must carry the mark in the final cell.
+    lines = tl.render(width=10).splitlines()
+    pe1 = next(line for line in lines if line.startswith("PE  1"))
+    body = pe1.split("|")[1]
+    assert body[-1] == "+", f"zero-duration boundary mark lost: {pe1!r}"
