@@ -10,19 +10,25 @@ and toggling one runtime mechanism:
   propagation traffic as the batch window grows.
 * **A3** — quiescence wave interval: detection latency vs probe traffic.
 * **A4** — ACWN parameters: forwarding threshold and hop budget.
+* **A5** — link contention: all-to-all vs nearest-neighbor traffic.
+
+Like the T/F/R series, every arm is expressed as a declarative run
+descriptor and submitted through the ambient sweep executor
+(``repro.bench.parallel``), so ablations parallelise and cache exactly
+like the paper tables.  Kernel-level knobs (``spanning_tree``,
+``lazy_interval``, ``qd_interval``), parameterised balancers
+(``balancer={"name": ..., ...}``) and machine cost-model overrides
+(``machine_scaled={...}``) all travel inside the descriptor.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict
 
-from repro.apps.nqueens import NQueensMain
-from repro.apps.tree import TreeParams, TreeMain
-from repro.apps.tsp import TspInstance, TspMain, tsp_seq
-from repro.balance import make_balancer
+from repro.apps.tree import TreeParams
+from repro.apps.tsp import TspInstance, tsp_seq
+from repro.bench.harness import describe, measure_many
 from repro.bench.tables import format_table
-from repro.core.kernel import Kernel
-from repro.machine.presets import make_machine
 
 __all__ = ["exp_a1", "exp_a2", "exp_a3", "exp_a4", "exp_a5"]
 
@@ -46,17 +52,21 @@ def exp_a1(scale: str = "paper"):
     rows = []
     data: Dict[str, Any] = {}
     answers = set()
-    for tree_name in ("rank", "binomial"):
-        kernel = Kernel(make_machine("ncube2", pes), balancer="acwn",
-                        spanning_tree=tree_name, seed=0)
-        res = kernel.run(TreeMain, params)
-        answers.add(res.result)
-        rows.append([tree_name, res.time * 1e3, kernel.total_message_hops,
-                     res.stats.total_bytes_sent])
+    tree_names = ("rank", "binomial")
+    descs = [
+        describe("tree", "ncube2", pes, balancer="acwn",
+                 spanning_tree=tree_name, params=params)
+        for tree_name in tree_names
+    ]
+    for tree_name, row in zip(tree_names, measure_many(descs, label="a1")):
+        answers.add(row.answer)
+        rows.append([tree_name, row.vtime * 1e3,
+                     row.stats.total_message_hops,
+                     row.stats.total_bytes_sent])
         data[tree_name] = {
-            "time": res.time,
-            "hops": kernel.total_message_hops,
-            "bytes": res.stats.total_bytes_sent,
+            "time": row.vtime,
+            "hops": row.stats.total_message_hops,
+            "bytes": row.stats.total_bytes_sent,
         }
     assert len(answers) == 1
     return ExperimentResult(
@@ -73,24 +83,27 @@ def exp_a2(scale: str = "paper"):
     ExperimentResult = _result_cls()
     pes = 8 if scale == "quick" else 16
     n = 8 if scale == "quick" else 10
-    inst = TspInstance.random(n, 0)
-    best_ref, _ = tsp_seq(inst)
+    # Same instance the descriptors will rebuild (n + instance_seed=0).
+    best_ref, _ = tsp_seq(TspInstance.random(n, 0))
     intervals = [0.05e-3, 0.2e-3, 1e-3, 5e-3]
     headers = ["lazy interval (ms)", "nodes", "time (ms)", "bound msgs"]
     rows = []
     data: Dict[str, Any] = {}
-    for interval in intervals:
-        kernel = Kernel(make_machine("ipsc2", pes), queueing="fifo",
-                        lazy_interval=interval, seed=0)
-        res = kernel.run(TspMain, inst, "lazy", 2, 1.6)
-        best, nodes, _ = res.result
+    descs = [
+        describe("tsp", "ipsc2", pes, queueing="fifo", propagation="lazy",
+                 n=n, instance_seed=0, grain=2, bound_slack=1.6,
+                 lazy_interval=interval)
+        for interval in intervals
+    ]
+    for interval, row in zip(intervals, measure_many(descs, label="a2")):
+        best, nodes, _ = row.answer
         assert best == best_ref
-        rows.append([interval * 1e3, nodes, res.time * 1e3,
-                     res.stats.mono_updates_sent])
+        rows.append([interval * 1e3, nodes, row.vtime * 1e3,
+                     row.stats.mono_updates_sent])
         data[interval] = {
             "nodes": nodes,
-            "time": res.time,
-            "msgs": res.stats.mono_updates_sent,
+            "time": row.vtime,
+            "msgs": row.stats.mono_updates_sent,
         }
     return ExperimentResult(
         "A2",
@@ -111,19 +124,21 @@ def exp_a3(scale: str = "paper"):
                "detect latency (ms)", "total time (ms)"]
     rows = []
     data: Dict[str, Any] = {}
-    for interval in intervals:
-        kernel = Kernel(make_machine("ipsc2", pes), qd_interval=interval, seed=0)
-        res = kernel.run(NQueensMain, n, 3, False)
-        latency = (kernel.qd.detected_at or res.time) - (
-            kernel.qd.work_end_at_detection or 0.0
-        )
-        rows.append([interval * 1e3, res.stats.qd_waves,
-                     res.stats.total_system_executed, latency * 1e3,
-                     res.time * 1e3])
+    descs = [
+        describe("queens", "ipsc2", pes, n=n, grainsize=3,
+                 qd_interval=interval)
+        for interval in intervals
+    ]
+    for interval, row in zip(intervals, measure_many(descs, label="a3")):
+        detected = row.stats.qd_detected_at or row.vtime
+        latency = detected - (row.qd_work_end or 0.0)
+        rows.append([interval * 1e3, row.stats.qd_waves,
+                     row.stats.total_system_executed, latency * 1e3,
+                     row.vtime * 1e3])
         data[interval] = {
-            "waves": res.stats.qd_waves,
+            "waves": row.stats.qd_waves,
             "latency": latency,
-            "system": res.stats.total_system_executed,
+            "system": row.stats.total_system_executed,
         }
     return ExperimentResult(
         "A3",
@@ -141,37 +156,29 @@ def exp_a5(scale: str = "paper"):
     modelling matters when comparing communication patterns.
     """
     ExperimentResult = _result_cls()
-    from repro.apps.jacobi import run_jacobi
-    from repro.apps.samplesort import run_samplesort
-
     pes = 8 if scale == "quick" else 16
     n_sort = 2048 if scale == "quick" else 8192
     n_grid = 16 if scale == "quick" else 32
     headers = ["app", "links", "time (ms)", "slowdown"]
     rows = []
     data: Dict[str, Any] = {}
+    contended = {"link_bandwidth": 2.8e6}
 
-    def machines():
-        plain = make_machine("ipsc2", pes)
-        contended = make_machine("ipsc2", pes)
-        contended.params = contended.params.scaled(link_bandwidth=2.8e6)
-        return plain, contended
-
-    plain, contended = machines()
-    _, r0 = run_samplesort(plain, n=n_sort, workers=pes)
-    _, r1 = run_samplesort(contended, n=n_sort, workers=pes)
-    rows.append(["samplesort", "ideal", r0.time * 1e3, 1.0])
-    rows.append(["samplesort", "2.8MB/s", r1.time * 1e3,
-                 round(r1.time / r0.time, 2)])
-    data["samplesort"] = {"plain": r0.time, "contended": r1.time}
-
-    plain, contended = machines()
-    _, r0 = run_jacobi(plain, n=n_grid, blocks=4, iterations=8)
-    _, r1 = run_jacobi(contended, n=n_grid, blocks=4, iterations=8)
-    rows.append(["jacobi", "ideal", r0.time * 1e3, 1.0])
-    rows.append(["jacobi", "2.8MB/s", r1.time * 1e3,
-                 round(r1.time / r0.time, 2)])
-    data["jacobi"] = {"plain": r0.time, "contended": r1.time}
+    descs = [
+        describe("samplesort", "ipsc2", pes, n=n_sort, workers=pes),
+        describe("samplesort", "ipsc2", pes, n=n_sort, workers=pes,
+                 machine_scaled=contended),
+        describe("jacobi", "ipsc2", pes, n=n_grid, blocks=4, iterations=8),
+        describe("jacobi", "ipsc2", pes, n=n_grid, blocks=4, iterations=8,
+                 machine_scaled=contended),
+    ]
+    results = measure_many(descs, label="a5")
+    for app, (plain, slow) in zip(("samplesort", "jacobi"),
+                                  (results[0:2], results[2:4])):
+        rows.append([app, "ideal", plain.vtime * 1e3, 1.0])
+        rows.append([app, "2.8MB/s", slow.vtime * 1e3,
+                     round(slow.vtime / plain.vtime, 2)])
+        data[app] = {"plain": plain.vtime, "contended": slow.vtime}
 
     return ExperimentResult(
         "A5",
@@ -195,22 +202,25 @@ def exp_a4(scale: str = "paper"):
     rows = []
     data: Dict[str, Any] = {}
     answers = set()
-    for threshold in (1, 2, 4, 8):
-        for max_hops in (1, 4):
-            balancer = make_balancer("acwn", threshold=threshold,
-                                     max_hops=max_hops)
-            kernel = Kernel(make_machine("ipsc2", pes), balancer=balancer,
-                            seed=0)
-            res = kernel.run(TreeMain, params)
-            answers.add(res.result)
-            rows.append([threshold, max_hops, res.time * 1e3,
-                         round(res.stats.mean_utilization * 100, 1),
-                         res.stats.lb_seeds_remote])
-            data[(threshold, max_hops)] = {
-                "time": res.time,
-                "util": res.stats.mean_utilization,
-                "remote": res.stats.lb_seeds_remote,
-            }
+    combos = [(threshold, max_hops) for threshold in (1, 2, 4, 8)
+              for max_hops in (1, 4)]
+    descs = [
+        describe("tree", "ipsc2", pes, params=params,
+                 balancer={"name": "acwn", "threshold": threshold,
+                           "max_hops": max_hops})
+        for threshold, max_hops in combos
+    ]
+    for (threshold, max_hops), row in zip(combos,
+                                          measure_many(descs, label="a4")):
+        answers.add(row.answer)
+        rows.append([threshold, max_hops, row.vtime * 1e3,
+                     round(row.stats.mean_utilization * 100, 1),
+                     row.stats.lb_seeds_remote])
+        data[(threshold, max_hops)] = {
+            "time": row.vtime,
+            "util": row.stats.mean_utilization,
+            "remote": row.stats.lb_seeds_remote,
+        }
     assert len(answers) == 1
     return ExperimentResult(
         "A4",

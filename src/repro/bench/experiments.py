@@ -15,7 +15,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence
 
 from repro.apps import TreeParams
-from repro.bench.harness import APPS, measure, speedup_sweep
+from repro.bench.harness import (
+    APPS,
+    describe,
+    measure,
+    measure_many,
+    speedup_sweep,
+    sweep_from_rows,
+)
 from repro.bench.tables import format_series, format_table
 from repro.faults import FaultConfig
 from repro.util.errors import ConfigurationError
@@ -67,15 +74,29 @@ def _sizes(scale: str) -> Dict[str, Dict[str, Any]]:
 
 
 def _speedup_table(
-    machine: str, pes: Sequence[int], scale: str, apps: Sequence[str] | None = None
+    machine: str,
+    pes: Sequence[int],
+    scale: str,
+    apps: Sequence[str] | None = None,
+    sizes: Dict[str, Dict[str, Any]] | None = None,
+    label: str = "",
 ) -> ExperimentResult:
-    sizes = _sizes(scale)
+    sizes = _sizes(scale) if sizes is None else sizes
     apps = list(apps) if apps is not None else _suite(scale)
+    # One batch across every (app, P) cell: all runs are independent, so a
+    # parallel executor overlaps the whole table.
+    descs = [
+        describe(app, machine, p, **sizes.get(app, {}))
+        for app in apps
+        for p in pes
+    ]
+    all_rows = measure_many(descs, label=label or f"speedups@{machine}")
     headers = ["program", "T1 (ms)"] + [f"S(P={p})" for p in pes[1:]]
     rows = []
     data: Dict[str, Any] = {"machine": machine, "pes": list(pes), "apps": {}}
-    for app in apps:
-        sweep = speedup_sweep(app, machine, pes, **sizes.get(app, {}))
+    for idx, app in enumerate(apps):
+        chunk = all_rows[idx * len(pes):(idx + 1) * len(pes)]
+        sweep = sweep_from_rows(app, machine, pes, chunk)
         assert sweep.consistent(), f"{app} answers diverged across P on {machine}"
         rows.append([app, sweep.t1 * 1e3] + [round(s, 2) for s in sweep.speedups[1:]])
         data["apps"][app] = {
@@ -101,9 +122,9 @@ def exp_t1(scale: str = "paper") -> ExperimentResult:
                "bytes sent", "T1 ideal (ms)"]
     rows = []
     data = {}
-    for app in apps:
-        row = measure(app, "ideal", 1, **sizes.get(app, {}))
-        stats = row.result.stats
+    descs = [describe(app, "ideal", 1, **sizes.get(app, {})) for app in apps]
+    for app, row in zip(apps, measure_many(descs, label="t1")):
+        stats = row.stats
         msgs = max(1, stats.total_msgs_executed)
         rows.append(
             [
@@ -161,16 +182,16 @@ def exp_t4(scale: str = "paper") -> ExperimentResult:
             "params": TreeParams(seed=42, max_depth=14, max_fanout=5,
                                  branch_bias=0.99, node_work=200.0)
         }
-    res = _speedup_table("ncube2", pes, scale, apps=apps)
-    # Rebuild with size overrides (the helper used defaults).
+    res = _speedup_table("ncube2", pes, scale, apps=apps, sizes=sizes,
+                         label="t4")
+    data = {"machine": "ncube2", "pes": pes,
+            "apps": {app: {"times": d["times"], "speedups": d["speedups"]}
+                     for app, d in res.data["apps"].items()}}
     headers = ["program", "T1 (ms)"] + [f"S(P={p})" for p in pes[1:]]
-    rows = []
-    data: Dict[str, Any] = {"machine": "ncube2", "pes": pes, "apps": {}}
-    for app in apps:
-        sweep = speedup_sweep(app, "ncube2", pes, **sizes.get(app, {}))
-        assert sweep.consistent(), f"{app} diverged across P"
-        rows.append([app, sweep.t1 * 1e3] + [round(s, 2) for s in sweep.speedups[1:]])
-        data["apps"][app] = {"times": sweep.times, "speedups": sweep.speedups}
+    rows = [
+        [app, d["times"][0] * 1e3] + [round(s, 2) for s in d["speedups"][1:]]
+        for app, d in data["apps"].items()
+    ]
     return ExperimentResult(
         "T4",
         "large-P speedups, NCUBE-class hypercube",
@@ -191,9 +212,12 @@ def exp_t5(scale: str = "paper") -> ExperimentResult:
     rows = []
     data: Dict[str, Any] = {}
     answers = set()
-    for strat in strategies:
-        row = measure("tree", "ipsc2", pes, balancer=strat, **sizes.get("tree", {}))
-        st = row.result.stats
+    descs = [
+        describe("tree", "ipsc2", pes, balancer=strat, **sizes.get("tree", {}))
+        for strat in strategies
+    ]
+    for strat, row in zip(strategies, measure_many(descs, label="t5")):
+        st = row.stats
         answers.add(row.answer)
         rows.append(
             [
@@ -232,15 +256,16 @@ def exp_t6(scale: str = "paper") -> ExperimentResult:
     headers = ["program", "queueing", "nodes expanded", "time (ms)", "best"]
     rows = []
     data: Dict[str, Any] = {}
-    for app in ("tsp", "knapsack"):
-        seq_nodes = None
-        for strat in ("fifo", "lifo", "prio"):
-            row = measure(app, "ipsc2", pes, queueing=strat, **sizes.get(app, {}))
-            best, nodes = row.answer[0], row.answer[1]
-            rows.append([app, strat, nodes, row.vtime_ms, best])
-            data[(app, strat)] = {"nodes": nodes, "time": row.vtime, "best": best}
-            if seq_nodes is None:
-                seq_nodes = nodes
+    combos = [(app, strat) for app in ("tsp", "knapsack")
+              for strat in ("fifo", "lifo", "prio")]
+    descs = [
+        describe(app, "ipsc2", pes, queueing=strat, **sizes.get(app, {}))
+        for app, strat in combos
+    ]
+    for (app, strat), row in zip(combos, measure_many(descs, label="t6")):
+        best, nodes = row.answer[0], row.answer[1]
+        rows.append([app, strat, nodes, row.vtime_ms, best])
+        data[(app, strat)] = {"nodes": nodes, "time": row.vtime, "best": best}
     return ExperimentResult(
         "T6",
         "queueing strategies and search anomalies",
@@ -273,10 +298,14 @@ def exp_t7(scale: str = "paper") -> ExperimentResult:
                "bound msgs", "updates applied"]
     rows = []
     data: Dict[str, Any] = {}
-    for prop in ("eager", "lazy", "off"):
-        row = measure("tsp", "ipsc2", pes, propagation=prop, **tsp_params)
+    props = ("eager", "lazy", "off")
+    descs = [
+        describe("tsp", "ipsc2", pes, propagation=prop, **tsp_params)
+        for prop in props
+    ]
+    for prop, row in zip(props, measure_many(descs, label="t7")):
         best, nodes, _ = row.answer
-        st = row.result.stats
+        st = row.stats
         rows.append([prop, nodes, row.vtime_ms, st.mono_updates_sent,
                      st.mono_updates_applied])
         data[prop] = {
@@ -304,8 +333,11 @@ def exp_t8(scale: str = "paper") -> ExperimentResult:
     headers = ["P", "ops", "time (ms)", "ops/ms"]
     rows = []
     data: Dict[str, Any] = {}
-    for p in pes_list:
-        row = measure("histogram", "ipsc2", p, **sizes.get("histogram", {}))
+    descs = [
+        describe("histogram", "ipsc2", p, **sizes.get("histogram", {}))
+        for p in pes_list
+    ]
+    for p, row in zip(pes_list, measure_many(descs, label="t8")):
         inserted, found, bad = row.answer
         assert bad == 0, "table round-trip mismatches"
         ops = inserted + found
@@ -328,11 +360,13 @@ def exp_t9(scale: str = "paper") -> ExperimentResult:
                "work end (ms)", "detected (ms)", "latency (ms)"]
     rows = []
     data: Dict[str, Any] = {}
-    for p in pes_list:
-        row = measure("queens", "ipsc2", p, **sizes.get("queens", {}))
-        st = row.result.stats
-        kernel = row.result.kernel
-        work_end = kernel.qd.work_end_at_detection or kernel.last_counted_exec_time
+    descs = [
+        describe("queens", "ipsc2", p, **sizes.get("queens", {}))
+        for p in pes_list
+    ]
+    for p, row in zip(pes_list, measure_many(descs, label="t9")):
+        st = row.stats
+        work_end = row.qd_work_end or row.last_counted_exec_time
         detected = st.qd_detected_at or row.vtime
         rows.append(
             [
@@ -379,10 +413,13 @@ def exp_t10(scale: str = "paper") -> ExperimentResult:
         ("token (stealing)", "token"),
         ("acwn (adaptive)", "acwn"),
     ]
-    for label, balancer in configs:
-        row = measure("tree", "hetero", pes, balancer=balancer,
-                      **sizes.get("tree", {}))
-        st = row.result.stats
+    descs = [
+        describe("tree", "hetero", pes, balancer=balancer,
+                 **sizes.get("tree", {}))
+        for _, balancer in configs
+    ]
+    for (label, balancer), row in zip(configs, measure_many(descs, label="t10")):
+        st = row.stats
         answers.add(row.answer)
         rows.append([label, row.vtime_ms,
                      round(st.mean_utilization * 100, 1),
@@ -410,11 +447,19 @@ def exp_f1(scale: str = "paper") -> ExperimentResult:
     sizes = _sizes(scale)
     lines = ["Speedup vs P (series per app x machine):"]
     data: Dict[str, Any] = {}
-    for machine in ("symmetry", "ipsc2", "ncube2"):
-        for app in apps:
-            sweep = speedup_sweep(app, machine, pes, **sizes.get(app, {}))
-            lines.append(format_series(f"{app}@{machine}", pes, sweep.speedups))
-            data[f"{app}@{machine}"] = sweep.speedups
+    pairs = [(machine, app) for machine in ("symmetry", "ipsc2", "ncube2")
+             for app in apps]
+    descs = [
+        describe(app, machine, p, **sizes.get(app, {}))
+        for machine, app in pairs
+        for p in pes
+    ]
+    all_rows = measure_many(descs, label="f1")
+    for idx, (machine, app) in enumerate(pairs):
+        chunk = all_rows[idx * len(pes):(idx + 1) * len(pes)]
+        sweep = sweep_from_rows(app, machine, pes, chunk)
+        lines.append(format_series(f"{app}@{machine}", pes, sweep.speedups))
+        data[f"{app}@{machine}"] = sweep.speedups
     from repro.bench.figures import render_chart
 
     chart = render_chart(
@@ -435,21 +480,28 @@ def exp_f2(scale: str = "paper") -> ExperimentResult:
     lines = []
     data: Dict[str, Any] = {"queens": {}, "fib": {}}
     grains = [1, 2, 3, 4, 5]
+    thresholds = [4, 6, 8, 10] if scale == "quick" else [5, 7, 9, 11, 13]
+    fn = 15 if scale == "quick" else 18
+    # Every (grain, P) pair is independent; submit the whole figure at once.
+    descs = []
+    for g in grains:
+        descs.append(describe("queens", "ipsc2", 1, n=n, grainsize=g))
+        descs.append(describe("queens", "ipsc2", p, n=n, grainsize=g))
+    for th in thresholds:
+        descs.append(describe("fib", "ipsc2", 1, n=fn, threshold=th))
+        descs.append(describe("fib", "ipsc2", p, n=fn, threshold=th))
+    rows = iter(measure_many(descs, label="f2"))
     xs, ys = [], []
     for g in grains:
-        t1 = measure("queens", "ipsc2", 1, n=n, grainsize=g).vtime
-        tp = measure("queens", "ipsc2", p, n=n, grainsize=g).vtime
+        t1, tp = next(rows).vtime, next(rows).vtime
         eff = t1 / tp / p
         xs.append(g)
         ys.append(round(eff, 3))
         data["queens"][g] = eff
     lines.append(format_series(f"queens(n={n}) efficiency vs grainsize", xs, ys))
-    thresholds = [4, 6, 8, 10] if scale == "quick" else [5, 7, 9, 11, 13]
-    fn = 15 if scale == "quick" else 18
     xs, ys = [], []
     for th in thresholds:
-        t1 = measure("fib", "ipsc2", 1, n=fn, threshold=th).vtime
-        tp = measure("fib", "ipsc2", p, n=fn, threshold=th).vtime
+        t1, tp = next(rows).vtime, next(rows).vtime
         eff = t1 / tp / p
         xs.append(th)
         ys.append(round(eff, 3))
@@ -467,10 +519,13 @@ def exp_f3(scale: str = "paper") -> ExperimentResult:
     sizes = _sizes(scale)
     lines = [f"Per-PE utilization %, tree on ipsc2 P={pes}:"]
     data: Dict[str, Any] = {}
-    for strat in ("local", "random", "central", "token", "acwn", "gradient"):
-        row = measure("tree", "ipsc2", pes, balancer=strat,
-                      **sizes.get("tree", {}))
-        utils = [round(r.utilization * 100, 1) for r in row.result.stats.pe_rows]
+    strategies = ("local", "random", "central", "token", "acwn", "gradient")
+    descs = [
+        describe("tree", "ipsc2", pes, balancer=strat, **sizes.get("tree", {}))
+        for strat in strategies
+    ]
+    for strat, row in zip(strategies, measure_many(descs, label="f3")):
+        utils = [round(r.utilization * 100, 1) for r in row.stats.pe_rows]
         lines.append(format_series(strat, list(range(pes)), utils))
         data[strat] = utils
     return ExperimentResult("F3", "per-PE utilization by balancer",
@@ -496,17 +551,22 @@ def exp_r1(scale: str = "paper") -> ExperimentResult:
     rows = []
     data: Dict[str, Any] = {"machine": "ncube2", "pes": pes,
                             "drop_rates": drop_rates, "apps": {}}
+    combos = [(app, rate) for app in ("fib", "queens") for rate in drop_rates]
+    descs = []
+    for app, rate in combos:
+        kwargs = dict(sizes.get(app, {}))
+        if rate > 0.0:
+            kwargs["faults"] = FaultConfig(drop_prob=rate)
+        descs.append(describe(app, "ncube2", pes, **kwargs))
+    all_rows = dict(zip(combos, measure_many(descs, label="r1")))
     for app in ("fib", "queens"):
         base_time = None
         base_answer = None
         series = []
         for rate in drop_rates:
-            kwargs = dict(sizes.get(app, {}))
-            if rate > 0.0:
-                kwargs["faults"] = FaultConfig(drop_prob=rate)
-            row = measure(app, "ncube2", pes, **kwargs)
-            st = row.result.stats
-            assert not row.result.truncated, (
+            row = all_rows[(app, rate)]
+            st = row.stats
+            assert not row.truncated, (
                 f"{app} hung at drop rate {rate} (run truncated)")
             if base_time is None:
                 base_time, base_answer = row.vtime, row.answer
@@ -566,17 +626,23 @@ def exp_r2(scale: str = "paper") -> ExperimentResult:
                "dup'd", "deduped", "stalls"]
     rows = []
     data: Dict[str, Any] = {"machine": "ncube2", "pes": pes, "apps": {}}
+    combos = [(app, label) for app in ("fib", "queens") for label, _ in levels]
+    cfg_by_label = dict(levels)
+    descs = []
+    for app, label in combos:
+        kwargs = dict(sizes.get(app, {}))
+        if cfg_by_label[label] is not None:
+            kwargs["faults"] = cfg_by_label[label]
+        descs.append(describe(app, "ncube2", pes, **kwargs))
+    all_rows = dict(zip(combos, measure_many(descs, label="r2")))
     for app in ("fib", "queens"):
         base_time = None
         base_answer = None
         series = []
         for label, cfg in levels:
-            kwargs = dict(sizes.get(app, {}))
-            if cfg is not None:
-                kwargs["faults"] = cfg
-            row = measure(app, "ncube2", pes, **kwargs)
-            st = row.result.stats
-            assert not row.result.truncated, f"{app} hung at severity {label}"
+            row = all_rows[(app, label)]
+            st = row.stats
+            assert not row.truncated, f"{app} hung at severity {label}"
             if base_time is None:
                 base_time, base_answer = row.vtime, row.answer
             assert row.answer == base_answer, (

@@ -5,6 +5,14 @@ experiment modules can sweep PEs, machines, balancers and queueing
 strategies without app-specific code.  All measurements are **virtual
 time** from the deterministic simulator; host time is recorded only as a
 diagnostic.
+
+Measurements are expressed as declarative
+:class:`~repro.bench.descriptors.RunDescriptor`\\ s (:func:`describe`)
+and executed through the ambient sweep executor
+(:mod:`repro.bench.parallel`), which adds result caching and process-pool
+parallelism without changing any virtual-time result.  :func:`measure`
+is the one-run convenience wrapper; experiments batch descriptors
+through :func:`measure_many` so independent runs can overlap.
 """
 
 from __future__ import annotations
@@ -30,11 +38,14 @@ from repro.apps import (
     run_tree,
     run_tsp,
 )
+from repro.bench.descriptors import RunDescriptor
 from repro.core.kernel import RunResult
 from repro.machine.presets import make_machine
 from repro.util.errors import ConfigurationError
 
-__all__ = ["AppSpec", "APPS", "measure", "speedup_sweep", "SweepResult"]
+__all__ = ["AppSpec", "APPS", "describe", "measure", "measure_many",
+           "execute_descriptor", "speedup_sweep", "sweep_from_rows",
+           "SweepResult"]
 
 
 @dataclass(frozen=True)
@@ -99,7 +110,15 @@ APPS: Dict[str, AppSpec] = {
 
 @dataclass
 class MeasureRow:
-    """One (app, machine, P, strategies) measurement."""
+    """One (app, machine, P, strategies) measurement.
+
+    The row is a *picklable projection* of the run: everything the
+    experiment tables consume (virtual time, answer, aggregated stats,
+    quiescence timings) travels across worker-process and cache
+    boundaries.  ``result`` — the live :class:`RunResult` with the full
+    kernel graph — is only populated for runs executed inline and is
+    ``None`` for rows that came back from a pool worker or the cache.
+    """
 
     app: str
     machine: str
@@ -108,24 +127,30 @@ class MeasureRow:
     balancer: str
     vtime: float
     answer: Any
-    result: RunResult = field(repr=False)
+    stats: Any = field(default=None, repr=False)       # TraceReport
+    truncated: bool = False
+    host_seconds: float = 0.0
+    qd_work_end: Optional[float] = None
+    last_counted_exec_time: float = 0.0
+    result: Optional[RunResult] = field(default=None, repr=False)
 
     @property
     def vtime_ms(self) -> float:
         return self.vtime * 1e3
 
 
-def measure(
+def describe(
     app: str,
     machine_name: str,
     num_pes: int,
     *,
     queueing: Optional[str] = None,
-    balancer: str = "random",
+    balancer: Any = "random",
     seed: int = 0,
+    machine_scaled: Optional[Dict[str, Any]] = None,
     **overrides: Any,
-) -> MeasureRow:
-    """Run one configuration and return its measurement row."""
+) -> RunDescriptor:
+    """Normalise one configuration into a declarative run descriptor."""
     try:
         spec = APPS[app]
     except KeyError:
@@ -138,18 +163,75 @@ def measure(
         params["queueing"] = queueing
     params.setdefault("queueing", "fifo")
     params.setdefault("balancer", balancer)
-    machine = make_machine(machine_name, num_pes)
-    answer, result = spec.runner(machine, seed=seed, **params)
-    return MeasureRow(
+    return RunDescriptor(
         app=app,
         machine=machine_name,
         num_pes=num_pes,
-        queueing=params.get("queueing", "fifo"),
-        balancer=params.get("balancer", "-"),
+        seed=seed,
+        params=tuple(sorted(params.items(), key=lambda kv: kv[0])),
+        machine_scaled=tuple(
+            sorted((machine_scaled or {}).items(), key=lambda kv: kv[0])
+        ),
+    )
+
+
+def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
+    """Actually simulate one descriptor (worker-side; no cache, no pool)."""
+    spec = APPS[desc.app]
+    params = dict(desc.params)
+    balancer = params.get("balancer")
+    if isinstance(balancer, dict):
+        from repro.balance import make_balancer
+
+        balancer_spec = dict(balancer)
+        params["balancer"] = make_balancer(
+            balancer_spec.pop("name"), **balancer_spec
+        )
+    machine = make_machine(desc.machine, desc.num_pes)
+    if desc.machine_scaled:
+        machine.params = machine.params.scaled(**dict(desc.machine_scaled))
+    answer, result = spec.runner(machine, seed=desc.seed, **params)
+    kernel = result.kernel
+    return MeasureRow(
+        app=desc.app,
+        machine=desc.machine,
+        num_pes=desc.num_pes,
+        queueing=desc.queueing,
+        balancer=desc.balancer_label,
         vtime=result.time,
         answer=answer,
+        stats=result.stats,
+        truncated=result.truncated,
+        host_seconds=result.host_seconds,
+        qd_work_end=(None if kernel is None
+                     else kernel.qd.work_end_at_detection),
+        last_counted_exec_time=(0.0 if kernel is None
+                                else kernel.last_counted_exec_time),
         result=result,
     )
+
+
+def measure_many(descs: Sequence[RunDescriptor], label: str = "") -> List[MeasureRow]:
+    """Execute a batch of descriptors through the ambient sweep executor."""
+    from repro.bench.parallel import current_executor
+
+    return current_executor().run_many(descs, label=label)
+
+
+def measure(
+    app: str,
+    machine_name: str,
+    num_pes: int,
+    *,
+    queueing: Optional[str] = None,
+    balancer: Any = "random",
+    seed: int = 0,
+    **overrides: Any,
+) -> MeasureRow:
+    """Run one configuration and return its measurement row."""
+    desc = describe(app, machine_name, num_pes, queueing=queueing,
+                    balancer=balancer, seed=seed, **overrides)
+    return measure_many([desc])[0]
 
 
 @dataclass
@@ -190,6 +272,21 @@ class SweepResult:
         return all(canon(a) == first for a in self.answers[1:])
 
 
+def sweep_from_rows(
+    app: str, machine_name: str, pes: Sequence[int], rows: Sequence[MeasureRow]
+) -> SweepResult:
+    """Assemble a :class:`SweepResult` from already-executed rows."""
+    canon = APPS[app].canon or (lambda a: a)
+    return SweepResult(
+        app=app,
+        machine=machine_name,
+        pes=list(pes),
+        times=[r.vtime for r in rows],
+        answers=[_strip_arrays(canon(r.answer)) for r in rows],
+        rows=list(rows),
+    )
+
+
 def speedup_sweep(
     app: str,
     machine_name: str,
@@ -202,12 +299,14 @@ def speedup_sweep(
 ) -> SweepResult:
     """Measure an app across PE counts; first entry is the T1 baseline.
 
-    Note: speedups for speculative-search apps (tsp, knapsack) compare the
-    *same-strategy* one-PE run, as the paper does — search anomalies (super-
-    or sub-linear speedup) are part of the phenomenon, not noise.
+    The per-P runs are submitted as one batch, so a parallel executor
+    overlaps them.  Note: speedups for speculative-search apps (tsp,
+    knapsack) compare the *same-strategy* one-PE run, as the paper does —
+    search anomalies (super- or sub-linear speedup) are part of the
+    phenomenon, not noise.
     """
-    rows = [
-        measure(
+    descs = [
+        describe(
             app,
             machine_name,
             p,
@@ -218,15 +317,8 @@ def speedup_sweep(
         )
         for p in pes
     ]
-    canon = APPS[app].canon or (lambda a: a)
-    return SweepResult(
-        app=app,
-        machine=machine_name,
-        pes=list(pes),
-        times=[r.vtime for r in rows],
-        answers=[_strip_arrays(canon(r.answer)) for r in rows],
-        rows=rows,
-    )
+    rows = measure_many(descs, label=f"{app}@{machine_name}")
+    return sweep_from_rows(app, machine_name, pes, rows)
 
 
 def _strip_arrays(answer: Any) -> Any:

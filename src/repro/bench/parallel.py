@@ -1,0 +1,281 @@
+"""Process-pool sweep executor for the experiment suite.
+
+The experiment registry decomposes each table/figure into a batch of
+independent :class:`~repro.bench.descriptors.RunDescriptor`\\ s and
+submits them here.  The executor:
+
+* replays every descriptor already present in the result cache,
+* runs the misses either inline (``jobs=1`` — bit-for-bit the historical
+  serial path, same process, same order) or on a pool of warm worker
+  processes reused across batches,
+* isolates per-run failures: a worker that raises reports the failing
+  descriptor and the rest of the batch still completes, after which a
+  single :class:`SweepRunError` names every casualty,
+* emits progress/ETA events for the bench CLI.
+
+Because every run is deterministic virtual time, the parallel schedule
+cannot change any result — the determinism-guard tests assert the
+``--jobs N`` tables are byte-identical to serial.
+
+The module-level *current executor* (see :func:`use_executor`) is how the
+existing ``measure()``/``speedup_sweep()`` APIs route through the pool
+without threading an executor argument through every experiment: the
+default is a plain serial executor, so library users and tests keep
+today's behaviour unless a CLI (or test) installs a parallel one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench.cache import ResultCache
+from repro.bench.descriptors import RunDescriptor
+
+__all__ = ["SweepExecutor", "SweepRunError", "current_executor",
+           "use_executor", "default_jobs"]
+
+#: Per-run wall-clock budget (seconds) before the batch is declared stuck.
+DEFAULT_TIMEOUT = 600.0
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+class SweepRunError(RuntimeError):
+    """One or more descriptors failed; carries (descriptor, error) pairs."""
+
+    def __init__(self, failures: Sequence[tuple]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} sweep run(s) failed:"]
+        for desc, error in self.failures:
+            label = desc.label() if isinstance(desc, RunDescriptor) else str(desc)
+            lines.append(f"  - {label}: {error}")
+        super().__init__("\n".join(lines))
+
+
+def _run_descriptor_guarded(desc: RunDescriptor):
+    """Worker-side entry point: execute one descriptor, never raise.
+
+    Returns ``("ok", row)`` with the picklable projection (the live kernel
+    is stripped), or ``("err", message, traceback)`` so the parent can
+    report the failing descriptor without losing the rest of the batch.
+    """
+    try:
+        from dataclasses import replace
+
+        from repro.bench.harness import execute_descriptor
+
+        row = execute_descriptor(desc)
+        return ("ok", replace(row, result=None))
+    except Exception as exc:
+        return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+class SweepExecutor:
+    """Executes descriptor batches with caching, parallelism and isolation.
+
+    ``jobs=1`` never creates a pool: misses run inline via the exact same
+    call path the harness used before this executor existed.  ``jobs>1``
+    lazily creates one ``ProcessPoolExecutor`` and keeps its workers warm
+    for every subsequent batch until :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        timeout: float = DEFAULT_TIMEOUT,
+        progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs if jobs is not None else default_jobs()))
+        self.cache = cache
+        self.timeout = timeout
+        self.progress = progress
+        self._pool = None
+        # Lifetime totals, for the CLI/CI summary.
+        self.runs_executed = 0
+        self.runs_cached = 0
+        self.batches = 0
+        self.wall_s = 0.0
+
+    # -------------------------------------------------------------- lifecycle
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                             mp_context=ctx)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- execution
+    def run_one(self, desc: RunDescriptor, label: str = ""):
+        return self.run_many([desc], label=label)[0]
+
+    def run_many(self, descs: Sequence[RunDescriptor], label: str = "") -> List[Any]:
+        """Execute a batch; results are returned in input order."""
+        started = time.perf_counter()
+        self.batches += 1
+        rows: List[Any] = [None] * len(descs)
+        pending: List[int] = []
+        cached = 0
+        for i, desc in enumerate(descs):
+            row = self.cache.get(desc) if self.cache is not None else None
+            if row is not None:
+                rows[i] = row
+                cached += 1
+            else:
+                pending.append(i)
+        self.runs_cached += cached
+        self._report(label, done=cached, total=len(descs), cached=cached,
+                     eta_s=None, final=not pending)
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_inline(descs, rows, pending, label, cached)
+            else:
+                self._run_pooled(descs, rows, pending, label, cached)
+            self.runs_executed += len(pending)
+        self.wall_s += time.perf_counter() - started
+        return rows
+
+    def _run_inline(self, descs, rows, pending, label, cached) -> None:
+        """The historical serial path: same process, same submission order."""
+        from repro.bench.harness import execute_descriptor
+
+        started = time.perf_counter()
+        failures = []
+        for n, i in enumerate(pending, start=1):
+            try:
+                row = execute_descriptor(descs[i])
+            except Exception as exc:
+                failures.append((descs[i], f"{type(exc).__name__}: {exc}"))
+                continue
+            rows[i] = row
+            if self.cache is not None:
+                self.cache.put(descs[i], row)
+            elapsed = time.perf_counter() - started
+            eta = elapsed / n * (len(pending) - n)
+            self._report(label, done=cached + n, total=len(rows),
+                         cached=cached, eta_s=eta, final=n == len(pending))
+        if failures:
+            raise SweepRunError(failures)
+
+    def _run_pooled(self, descs, rows, pending, label, cached) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        pool = self._ensure_pool()
+        started = time.perf_counter()
+        futures = {}
+        try:
+            for i in pending:
+                futures[pool.submit(_run_descriptor_guarded, descs[i])] = i
+        except BrokenProcessPool:
+            self.close()
+            raise SweepRunError(
+                [(descs[i], "worker pool broke before submission")
+                 for i in pending]
+            ) from None
+        failures = []
+        done_count = 0
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, timeout=self.timeout,
+                                       return_when=FIRST_COMPLETED)
+            if not finished:
+                # Per-run budget exhausted with nothing completing: report
+                # exactly which descriptors are stuck instead of hanging.
+                stuck = [(descs[futures[f]],
+                          f"no completion within {self.timeout:.0f}s")
+                         for f in remaining]
+                for f in remaining:
+                    f.cancel()
+                self.close()
+                raise SweepRunError(failures + stuck)
+            for future in finished:
+                i = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    # A worker died hard (segfault/OOM): name the run it held.
+                    self.close()
+                    raise SweepRunError(
+                        failures + [(descs[i], "worker process died")]
+                    ) from None
+                if outcome[0] == "ok":
+                    rows[i] = outcome[1]
+                    if self.cache is not None:
+                        self.cache.put(descs[i], outcome[1])
+                else:
+                    failures.append((descs[i], outcome[1]))
+                done_count += 1
+                elapsed = time.perf_counter() - started
+                rate = elapsed / done_count
+                eta = rate * (len(pending) - done_count) / self.jobs
+                self._report(label, done=cached + done_count, total=len(rows),
+                             cached=cached, eta_s=eta,
+                             final=done_count == len(pending))
+        if failures:
+            raise SweepRunError(failures)
+
+    # -------------------------------------------------------------- reporting
+    def _report(self, label, *, done, total, cached, eta_s, final) -> None:
+        if self.progress is not None and total:
+            self.progress({"label": label, "done": done, "total": total,
+                           "cached": cached, "eta_s": eta_s, "final": final})
+
+    def summary(self) -> Dict[str, Any]:
+        out = {
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "runs_executed": self.runs_executed,
+            "runs_cached": self.runs_cached,
+            "wall_s": round(self.wall_s, 3),
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+
+# -------------------------------------------------------- ambient executor
+#: Installed by the bench CLI (or tests); ``None`` means plain serial.
+_current: Optional[SweepExecutor] = None
+#: The fallback serial executor — measure()/speedup_sweep() outside any
+#: ``use_executor`` block behave exactly as before this module existed.
+_default = SweepExecutor(jobs=1)
+
+
+def current_executor() -> SweepExecutor:
+    return _current if _current is not None else _default
+
+
+@contextmanager
+def use_executor(executor: SweepExecutor):
+    """Route ``measure``/``measure_many`` through ``executor`` in this block."""
+    global _current
+    previous = _current
+    _current = executor
+    try:
+        yield executor
+    finally:
+        _current = previous

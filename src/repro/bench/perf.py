@@ -13,8 +13,16 @@ Usage::
 
 ``--check`` re-measures and fails (exit 1) if events/s or messages/s fall
 more than ``--tolerance`` (default 30%) below the most recent recorded
-entry — the cheap CI guard against accidentally re-introducing per-event
-allocation in the hot path.
+entry carrying those metrics — the cheap CI guard against accidentally
+re-introducing per-event allocation in the hot path.
+
+``--exp-wall`` records the experiment-suite wall-clock family instead:
+``exp_all_wall_s_serial`` (the historical one-process outer loop),
+``exp_all_wall_s_jobsN`` (the parallel sweep executor cold), and
+``exp_all_wall_s_warm_cache`` (a rerun replayed from the result cache)
+plus the warm-run cache hit-rate.  Every entry also records host context
+(CPU count, 1-minute load average) so wall-clock and throughput numbers
+stay interpretable across machines.
 """
 
 from __future__ import annotations
@@ -27,7 +35,8 @@ import time
 from datetime import datetime, timezone
 from typing import Callable, Dict
 
-__all__ = ["measure_throughput", "record", "check", "DEFAULT_PATH"]
+__all__ = ["measure_throughput", "measure_exp_wall", "record", "check",
+           "host_context", "DEFAULT_PATH"]
 
 DEFAULT_PATH = "BENCH_sim_throughput.json"
 
@@ -136,6 +145,67 @@ def measure_throughput(repeats: int = 5) -> Dict[str, float]:
     return metrics
 
 
+def host_context() -> Dict[str, object]:
+    """CPU count and load average, recorded with every entry.
+
+    Wall-clock and throughput numbers are only comparable across entries
+    when the host context is known — a 2x ``exp_all_wall_s`` swing between
+    a 4-core laptop and a 64-core runner is machine skew, not a
+    regression.  ``load_avg_1m`` is ``None`` where the platform has no
+    ``os.getloadavg`` (Windows).
+    """
+    try:
+        load_1m = round(os.getloadavg()[0], 3)
+    except (AttributeError, OSError):
+        load_1m = None
+    return {"cpu_count": os.cpu_count(), "load_avg_1m": load_1m}
+
+
+# ------------------------------------------------- experiment-suite wall time
+def measure_exp_wall(scale: str = "quick", jobs: int | None = None,
+                     exps: "list[str] | None" = None) -> Dict[str, float]:
+    """Time the experiment suite serial, parallel, and warm-cache.
+
+    Three passes over the same experiment set: (1) the historical serial
+    path (``jobs=1``, no cache), (2) the parallel sweep executor cold
+    (fresh cache, ``jobs`` workers), (3) a warm rerun replayed from that
+    cache.  Virtual-time results are identical in all three — only the
+    host cost differs, and that is the metric.
+    """
+    import shutil
+    import tempfile
+
+    from repro.bench.cache import ResultCache
+    from repro.bench.experiments import EXPERIMENTS, run_experiment
+    from repro.bench.parallel import SweepExecutor, default_jobs, use_executor
+
+    jobs = jobs if jobs is not None else default_jobs()
+    ids = sorted(EXPERIMENTS) if exps is None else list(exps)
+
+    def run_all(executor: "SweepExecutor") -> float:
+        t0 = time.perf_counter()
+        with executor, use_executor(executor):
+            for exp_id in ids:
+                run_experiment(exp_id, scale=scale)
+        return time.perf_counter() - t0
+
+    metrics: Dict[str, float] = {"exp_all_jobs": float(jobs)}
+    metrics["exp_all_wall_s_serial"] = run_all(SweepExecutor(jobs=1))
+    cache_root = tempfile.mkdtemp(prefix="bench-expwall-")
+    try:
+        metrics[f"exp_all_wall_s_jobs{jobs}"] = run_all(
+            SweepExecutor(jobs=jobs, cache=ResultCache(cache_root))
+        )
+        warm_cache = ResultCache(cache_root)
+        metrics["exp_all_wall_s_warm_cache"] = run_all(
+            SweepExecutor(jobs=jobs, cache=warm_cache)
+        )
+        metrics["exp_all_cache_hit_rate"] = warm_cache.hit_rate
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    return metrics
+
+
 # ------------------------------------------------------------------- storage
 def _load(path: str) -> dict:
     if os.path.exists(path):
@@ -144,13 +214,15 @@ def _load(path: str) -> dict:
     return {"entries": []}
 
 
-def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5) -> dict:
-    """Measure and append one entry; returns the entry."""
+def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5,
+           metrics: Dict[str, float] | None = None) -> dict:
+    """Measure (or take ``metrics``) and append one entry; returns the entry."""
     entry = {
         "label": label or "unlabelled",
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
-        "metrics": measure_throughput(repeats),
+        "host": host_context(),
+        "metrics": measure_throughput(repeats) if metrics is None else metrics,
     }
     data = _load(path)
     data["entries"].append(entry)
@@ -160,14 +232,28 @@ def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5) -> dict:
     return entry
 
 
+def _guard_baseline(entries: list) -> dict | None:
+    """Latest entry carrying any guarded metric.
+
+    Entries recorded by ``--exp-wall`` (wall-clock family only) and
+    pre-PR-3 entries missing ``host`` context must not silently disable
+    the hot-path guard, so the scan walks backwards to the newest entry
+    that actually measured a guarded metric.
+    """
+    for entry in reversed(entries):
+        if any(name in entry.get("metrics", {}) for name in GUARDED_METRICS):
+            return entry
+    return None
+
+
 def check(path: str = DEFAULT_PATH, tolerance: float = 0.30,
           repeats: int = 3) -> bool:
     """Re-measure the guarded metrics; True iff none regressed past tolerance."""
     data = _load(path)
-    if not data["entries"]:
-        print(f"no baseline entries in {path}; nothing to check")
+    baseline = _guard_baseline(data["entries"])
+    if baseline is None:
+        print(f"no guarded baseline entries in {path}; nothing to check")
         return True
-    baseline = data["entries"][-1]
     current = measure_throughput(repeats)
     ok = True
     print(f"perf guard vs {baseline['label']!r} ({baseline['timestamp']}):")
@@ -195,9 +281,27 @@ def main(argv=None) -> int:
                     help="regression-guard mode: compare against last entry")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional drop in --check mode")
+    ap.add_argument("--exp-wall", action="store_true",
+                    help="record experiment-suite wall time "
+                    "(serial vs --exp-jobs vs warm cache) instead of the "
+                    "hot-path microbenchmarks")
+    ap.add_argument("--exp-scale", default="quick", choices=["paper", "quick"],
+                    help="experiment scale for --exp-wall (default: quick)")
+    ap.add_argument("--exp-jobs", type=int, default=None,
+                    help="worker count for the parallel --exp-wall pass "
+                    "(default: os.cpu_count())")
     args = ap.parse_args(argv)
     if args.check:
         return 0 if check(args.output, args.tolerance) else 1
+    if args.exp_wall:
+        metrics = measure_exp_wall(scale=args.exp_scale, jobs=args.exp_jobs)
+        label = args.label or f"exp-wall ({args.exp_scale})"
+        entry = record(args.output, label, metrics=metrics)
+        print(f"recorded {entry['label']!r} -> {args.output}")
+        for name, value in entry["metrics"].items():
+            unit = "" if name.endswith(("_rate", "_jobs")) else "s"
+            print(f"  {name}: {value:,.2f}{unit}")
+        return 0
     entry = record(args.output, args.label, args.repeats)
     print(f"recorded {entry['label']!r} -> {args.output}")
     for name, value in entry["metrics"].items():

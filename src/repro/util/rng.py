@@ -23,12 +23,28 @@ def derive_seed(root_seed: int, purpose: str, *keys: int) -> int:
     Python versions and platforms (``hash()`` is salted, so it is unusable).
     """
     h = hashlib.blake2b(digest_size=8)
-    h.update(int(root_seed).to_bytes(16, "little", signed=True))
+    h.update(_seed_bytes(root_seed))
     h.update(purpose.encode("utf-8"))
     for k in keys:
         h.update(b"\x00")
-        h.update(int(k).to_bytes(16, "little", signed=True))
+        h.update(_seed_bytes(k))
     return int.from_bytes(h.digest(), "little")
+
+
+def _seed_bytes(value: int) -> bytes:
+    """Canonical encoding of an integer seed component.
+
+    Seeds within ±2**127 keep the historical fixed 16-byte encoding (the
+    golden-trace fixtures depend on it); wider integers fall back to a
+    length-prefixed minimal encoding instead of overflowing.
+    """
+    value = int(value)
+    try:
+        return value.to_bytes(16, "little", signed=True)
+    except OverflowError:
+        width = (value.bit_length() // 8) + 1  # room for the sign bit
+        body = value.to_bytes(width, "little", signed=True)
+        return b"\xff" + width.to_bytes(8, "little") + body
 
 
 class RngStream:

@@ -76,7 +76,8 @@ def test_measure_unknown_app_rejected():
 def test_bench_cli_single_experiment(capsys):
     from repro.bench.__main__ import main
 
-    assert main(["--exp", "t9", "--scale", "quick"]) == 0
+    assert main(["--exp", "t9", "--scale", "quick", "--jobs", "1",
+                 "--no-cache", "--no-progress"]) == 0
     out = capsys.readouterr().out
     assert "T9" in out
     assert "QD waves" in out

@@ -9,7 +9,9 @@ from repro.bench.__main__ import main, _jsonable
 
 def test_output_writes_txt_and_json(tmp_path, capsys):
     out = tmp_path / "results"
-    assert main(["--exp", "t9", "--scale", "quick", "--output", str(out)]) == 0
+    assert main(["--exp", "t9", "--scale", "quick", "--output", str(out),
+                 "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+                 "--no-progress"]) == 0
     txt = (out / "t9.txt").read_text()
     assert "T9" in txt and "QD waves" in txt
     payload = json.loads((out / "t9.json").read_text())

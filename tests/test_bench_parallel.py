@@ -1,0 +1,158 @@
+"""Determinism guard and failure isolation for the parallel sweep executor.
+
+The tentpole invariant: because every run is deterministic virtual time,
+``--jobs N`` must produce *byte-identical* experiment tables to the
+serial path, and a cache hit must replay the identical row.  These tests
+pin that, plus the executor's failure-isolation contract (a failing run
+is reported by descriptor, not by killing the sweep).
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.descriptors import RunDescriptor
+from repro.bench.experiments import run_experiment
+from repro.bench.harness import APPS, AppSpec, describe, measure, measure_many
+from repro.bench.parallel import SweepExecutor, SweepRunError, use_executor
+
+
+def _run(exp_id, **executor_kwargs):
+    with SweepExecutor(**executor_kwargs) as ex, use_executor(ex):
+        return run_experiment(exp_id, scale="quick")
+
+
+def _payload(result):
+    return (result.text, json.dumps(result.data, default=repr, sort_keys=True))
+
+
+# ------------------------------------------------------- determinism guard
+def test_t2_jobs4_byte_identical_to_serial():
+    serial = _run("t2", jobs=1)
+    parallel = _run("t2", jobs=4)
+    assert _payload(parallel) == _payload(serial)
+
+
+def test_r1_jobs4_byte_identical_to_serial():
+    """R1 engages the fault layer (drops/retries) — still schedule-invariant."""
+    serial = _run("r1", jobs=1)
+    parallel = _run("r1", jobs=4)
+    assert _payload(parallel) == _payload(serial)
+
+
+def test_cache_hit_replays_identical_row(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="pinned")
+    with SweepExecutor(jobs=1, cache=cache) as ex, use_executor(ex):
+        first = measure("fib", "ipsc2", 4, n=12, threshold=6)
+    assert cache.stores == 1 and cache.hits == 0
+    replay_cache = ResultCache(str(tmp_path), fingerprint="pinned")
+    with SweepExecutor(jobs=1, cache=replay_cache) as ex, use_executor(ex):
+        second = measure("fib", "ipsc2", 4, n=12, threshold=6)
+    assert replay_cache.hits == 1 and replay_cache.stores == 0
+    # The replayed row equals the executed one in every projected field
+    # (the live RunResult is inline-only by design).
+    assert second.result is None
+    assert replace(first, result=None) == second
+
+
+def test_cached_experiment_table_identical(tmp_path):
+    cache_dir = str(tmp_path)
+    cold = _run("t9", jobs=1, cache=ResultCache(cache_dir))
+    warm_cache = ResultCache(cache_dir)
+    warm = _run("t9", jobs=1, cache=warm_cache)
+    assert warm_cache.hits > 0 and warm_cache.misses == 0
+    assert _payload(warm) == _payload(cold)
+
+
+# -------------------------------------------------------- failure isolation
+@pytest.fixture
+def exploding_app(monkeypatch):
+    def boom(machine, seed=0, **params):
+        raise ValueError("deliberate kaboom")
+
+    monkeypatch.setitem(APPS, "exploding", AppSpec("exploding", boom, {}))
+    return "exploding"
+
+
+def test_inline_failure_names_descriptor(exploding_app):
+    good = describe("fib", "ideal", 1, n=10, threshold=5)
+    bad = describe(exploding_app, "ideal", 2)
+    with SweepExecutor(jobs=1) as ex, use_executor(ex):
+        with pytest.raises(SweepRunError) as err:
+            measure_many([good, bad, good])
+    assert "exploding@ideal P=2" in str(err.value)
+    assert "deliberate kaboom" in str(err.value)
+
+
+def test_pooled_failure_names_descriptor_and_batch_survives(exploding_app):
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("monkeypatched app registry needs fork start method")
+    good = describe("fib", "ideal", 1, n=10, threshold=5)
+    bad = describe(exploding_app, "ideal", 2)
+    with SweepExecutor(jobs=2) as ex, use_executor(ex):
+        with pytest.raises(SweepRunError) as err:
+            measure_many([good, bad, good])
+    assert "exploding@ideal P=2" in str(err.value)
+    # Exactly the one bad descriptor failed; the good runs completed.
+    assert len(err.value.failures) == 1
+
+
+def test_pool_reused_warm_across_batches():
+    descs = [describe("fib", "ideal", p, n=10, threshold=5) for p in (1, 2)]
+    with SweepExecutor(jobs=2) as ex, use_executor(ex):
+        measure_many(descs)
+        pool_first = ex._pool
+        measure_many(descs)
+        assert ex._pool is pool_first
+        assert pool_first is not None
+
+
+def test_jobs1_never_creates_pool():
+    with SweepExecutor(jobs=1) as ex, use_executor(ex):
+        measure("fib", "ideal", 1, n=10, threshold=5)
+        assert ex._pool is None
+
+
+def test_executor_summary_counts(tmp_path):
+    cache = ResultCache(str(tmp_path), fingerprint="pinned")
+    descs = [describe("fib", "ideal", p, n=10, threshold=5) for p in (1, 2)]
+    with SweepExecutor(jobs=1, cache=cache) as ex, use_executor(ex):
+        measure_many(descs)
+        measure_many(descs)  # replayed
+        summary = ex.summary()
+    assert summary["runs_executed"] == 2
+    assert summary["runs_cached"] == 2
+    assert summary["cache"]["hit_rate"] == pytest.approx(0.5)
+
+
+# ------------------------------------------------------------- descriptors
+def test_descriptor_key_stable_and_discriminating():
+    a = describe("queens", "ipsc2", 4, n=6, grainsize=2)
+    b = describe("queens", "ipsc2", 4, n=6, grainsize=2)
+    assert a == b
+    assert a.key("fp") == b.key("fp")
+    assert a.key("fp") != a.key("other-code")
+    assert a.key("fp") != describe("queens", "ipsc2", 4, n=7,
+                                   grainsize=2).key("fp")
+    assert a.key("fp") != describe("queens", "ipsc2", 8, n=6,
+                                   grainsize=2).key("fp")
+
+
+def test_descriptor_rejects_live_objects():
+    from repro.util.errors import ConfigurationError
+
+    desc = RunDescriptor("fib", "ideal", 1, 0,
+                         params=(("callback", object()),))
+    with pytest.raises(ConfigurationError):
+        desc.key("fp")
+
+
+def test_describe_unknown_app_rejected():
+    from repro.util.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        describe("doom", "ideal", 2)

@@ -53,3 +53,99 @@ def test_best_rate_skips_only_degenerate_runs(monkeypatch):
     ops = iter([100, 100])
     # First run unresolvable, second gives 200/s.
     assert _best_rate(lambda: next(ops), repeats=2) == pytest.approx(200.0)
+
+
+# ------------------------------------------------- host context & baselines
+def test_record_includes_host_context(tmp_path):
+    from repro.bench import perf
+
+    path = str(tmp_path / "bench.json")
+    entry = perf.record(path, "test-entry", metrics={"engine_events_per_s": 1.0})
+    host = entry["host"]
+    assert isinstance(host["cpu_count"], int) and host["cpu_count"] >= 1
+    assert host["load_avg_1m"] is None or isinstance(host["load_avg_1m"], float)
+    on_disk = json.loads(open(path).read())["entries"]
+    assert on_disk[-1]["host"] == host
+
+
+def test_host_context_without_getloadavg(monkeypatch):
+    import os
+
+    from repro.bench.perf import host_context
+
+    monkeypatch.delattr(os, "getloadavg")
+    ctx = host_context()
+    assert ctx["load_avg_1m"] is None
+    assert ctx["cpu_count"] == os.cpu_count()
+
+
+def test_guard_baseline_skips_exp_wall_entries():
+    from repro.bench.perf import _guard_baseline
+
+    guarded = {"label": "hot-path", "metrics": {"engine_events_per_s": 9.9}}
+    entries = [
+        {"label": "older", "metrics": {"kernel_msgs_per_s": 1.0}},
+        guarded,
+        {"label": "wall", "metrics": {"exp_all_wall_s_serial": 12.0}},
+        {"label": "wall-2", "metrics": {"exp_all_cache_hit_rate": 1.0}},
+    ]
+    assert _guard_baseline(entries) is guarded
+
+
+def test_guard_baseline_tolerates_malformed_entries():
+    from repro.bench.perf import _guard_baseline
+
+    assert _guard_baseline([]) is None
+    assert _guard_baseline([{"label": "no-metrics"}]) is None
+    assert _guard_baseline([{"metrics": {"exp_all_jobs": 4.0}}]) is None
+
+
+def test_check_uses_last_guarded_entry(tmp_path, monkeypatch, capsys):
+    """--check must not be disabled (or misled) by a trailing exp-wall
+    entry or by pre-host-context entries missing fields."""
+    from repro.bench import perf
+
+    path = str(tmp_path / "bench.json")
+    data = {"entries": [
+        # Old-format entry: no "host", guarded metrics present.
+        {"label": "seed", "timestamp": "t0", "python": "3",
+         "metrics": {"engine_events_per_s": 100.0,
+                     "kernel_msgs_per_s": 100.0,
+                     "kernel_seeds_per_s": 100.0}},
+        # Newest entry only has wall-clock metrics.
+        {"label": "wall", "timestamp": "t1", "python": "3",
+         "host": {"cpu_count": 1, "load_avg_1m": None},
+         "metrics": {"exp_all_wall_s_serial": 9.0}},
+    ]}
+    with open(path, "w") as fh:
+        json.dump(data, fh)
+    monkeypatch.setattr(
+        perf, "measure_throughput",
+        lambda repeats=3: {"engine_events_per_s": 95.0,
+                           "kernel_msgs_per_s": 95.0,
+                           "kernel_seeds_per_s": 95.0})
+    assert perf.check(path) is True
+    out = capsys.readouterr().out
+    assert "'seed'" in out
+
+    monkeypatch.setattr(
+        perf, "measure_throughput",
+        lambda repeats=3: {"engine_events_per_s": 10.0,
+                           "kernel_msgs_per_s": 95.0,
+                           "kernel_seeds_per_s": 95.0})
+    assert perf.check(path) is False
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_measure_exp_wall_records_all_passes(tmp_path, monkeypatch):
+    from repro.bench import perf
+
+    metrics = perf.measure_exp_wall(scale="quick", jobs=2, exps=["t9"])
+    assert metrics["exp_all_jobs"] == 2.0
+    assert metrics["exp_all_wall_s_serial"] > 0
+    assert metrics["exp_all_wall_s_jobs2"] > 0
+    assert metrics["exp_all_wall_s_warm_cache"] > 0
+    assert metrics["exp_all_cache_hit_rate"] == pytest.approx(1.0)
+    # Warm-cache replay must be dramatically cheaper than executing.
+    assert (metrics["exp_all_wall_s_warm_cache"]
+            < metrics["exp_all_wall_s_serial"])
