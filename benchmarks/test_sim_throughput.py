@@ -10,8 +10,10 @@ caught by pytest-benchmark's timing statistics.
 import pytest
 
 from repro import Chare, Kernel, entry, make_machine
+from repro.apps.nqueens import run_nqueens
 from repro.queueing.strategies import make_strategy
 from repro.sim.engine import Engine
+from repro.util.priority import BitVectorPriority
 
 
 def test_engine_event_throughput(benchmark):
@@ -133,7 +135,7 @@ def test_priority_pool_throughput(benchmark):
     assert benchmark(churn) == sum(range(5_000))
 
 
-@pytest.mark.parametrize("name", ["fifo", "lifo", "bitprio"])
+@pytest.mark.parametrize("name", ["fifo", "lifo", "bitprio", "priolifo"])
 def test_pool_throughput(benchmark, name):
     """Push/pop churn for each queueing strategy (prio has its own test)."""
 
@@ -148,3 +150,84 @@ def test_pool_throughput(benchmark, name):
         return total
 
     assert benchmark(churn) == 5_000
+
+
+def test_pool_default_lane_throughput(benchmark):
+    """All-unprioritized churn on a prio pool: the deque fast lane."""
+
+    def churn():
+        q = make_strategy("prio")
+        for i in range(5_000):
+            q.push(i)
+        total = 0
+        while q:
+            q.pop()
+            total += 1
+        return total
+
+    assert benchmark(churn) == 5_000
+
+
+def test_pool_deep_bitvector_throughput(benchmark):
+    """Churn with ~80-bit bitvector priorities (multi-chunk packed keys)."""
+    prios = [
+        BitVectorPriority(((i * 2654435761) >> b) & 1 for b in range(80))
+        for i in range(64)
+    ]
+
+    def churn():
+        q = make_strategy("bitprio")
+        for i in range(5_000):
+            q.push(i, prios[i % 64])
+        total = 0
+        while q:
+            q.pop()
+            total += 1
+        return total
+
+    assert benchmark(churn) == 5_000
+
+
+def test_pool_mixed_traffic_throughput(benchmark):
+    """None / small-int / bitvector interleaved: all three lanes hot."""
+    prios = [
+        BitVectorPriority(((i * 40503) >> b) & 1 for b in range(12))
+        for i in range(16)
+    ]
+
+    def churn():
+        q = make_strategy("prio")
+        for i in range(5_000):
+            r = i % 3
+            if r == 0:
+                q.push(i)
+            elif r == 1:
+                q.push(i, (i * 2654435761) % 1000)
+            else:
+                q.push(i, prios[i % 16])
+        total = 0
+        while q:
+            q.pop()
+            total += 1
+        return total
+
+    assert benchmark(churn) == 5_000
+
+
+def test_search_bitprio_end_to_end_throughput(benchmark):
+    """Full-stack prioritized search: N-queens with bitvector priorities.
+
+    Covers the whole prioritized hot path — send-time key normalization,
+    cached keys riding the envelopes, bitprio lane-split pools on every
+    PE — with nodes expanded as the op count.
+    """
+
+    def run():
+        (solutions, nodes), _ = run_nqueens(
+            make_machine("ideal", 8), n=7, grainsize=3,
+            queueing="bitprio", use_priorities=True,
+        )
+        assert solutions == 40
+        return nodes
+
+    assert benchmark(run) == 552

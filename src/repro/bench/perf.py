@@ -40,9 +40,12 @@ __all__ = ["measure_throughput", "measure_exp_wall", "record", "check",
 
 DEFAULT_PATH = "BENCH_sim_throughput.json"
 
-#: Metrics the --check guard enforces (others are informational).
+#: Metrics the --check guard enforces (others are informational).  The pool
+#: and search metrics guard the prioritized-execution hot path (packed keys,
+#: send-time normalization, lane-split pools).
 GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
-                   "kernel_seeds_per_s")
+                   "kernel_seeds_per_s", "pool_prio_ops_per_s",
+                   "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s")
 
 
 # --------------------------------------------------------------- measurement
@@ -127,6 +130,114 @@ def _pool_churn(strategy_name: str) -> Callable[[], int]:
     return run
 
 
+def _pool_churn_default(strategy_name: str) -> Callable[[], int]:
+    """All-unprioritized churn: exercises the pool's default fast lane."""
+
+    def run() -> int:
+        from repro.queueing.strategies import make_strategy
+
+        q = make_strategy(strategy_name)
+        n = 5_000
+        for i in range(n):
+            q.push(i)
+        while q:
+            q.pop()
+        return 2 * n
+
+    return run
+
+
+def _pool_churn_deep(strategy_name: str) -> Callable[[], int]:
+    """Deep-bitvector churn: ~80-bit priorities crossing the 63-bit chunk.
+
+    Priorities are prebuilt once (and their normalized keys cached on the
+    instances by the first run), so the steady-state metric is pool
+    push/pop cost with multi-element packed keys — the deep-search-tree
+    shape — not BitVectorPriority construction.
+    """
+    from repro.util.priority import BitVectorPriority
+
+    prios = [
+        BitVectorPriority(((i * 2654435761) >> b) & 1 for b in range(80))
+        for i in range(64)
+    ]
+
+    def run() -> int:
+        from repro.queueing.strategies import make_strategy
+
+        q = make_strategy(strategy_name)
+        n = 5_000
+        for i in range(n):
+            q.push(i, prios[i % 64])
+        while q:
+            q.pop()
+        return 2 * n
+
+    return run
+
+
+def _pool_churn_mixed(strategy_name: str) -> Callable[[], int]:
+    """Mixed-traffic churn: None / small-int / bitvector interleaved.
+
+    The realistic lane mix — a prioritized app's search messages riding
+    alongside unprioritized control traffic — so all three lanes (default
+    deque, int buckets, heap) are hot in one measurement.
+    """
+    from repro.util.priority import BitVectorPriority
+
+    prios = [
+        BitVectorPriority(((i * 40503) >> b) & 1 for b in range(12))
+        for i in range(16)
+    ]
+
+    def run() -> int:
+        from repro.queueing.strategies import make_strategy
+
+        q = make_strategy(strategy_name)
+        n = 5_000
+        for i in range(n):
+            r = i % 3
+            if r == 0:
+                q.push(i)
+            elif r == 1:
+                q.push(i, (i * 2654435761) % 1000)
+            else:
+                q.push(i, prios[i % 16])
+        while q:
+            q.pop()
+        return 2 * n
+
+    return run
+
+
+def _search_nqueens_bitprio() -> int:
+    """End-to-end prioritized tree search: nodes expanded per host second.
+
+    The full simulator stack — kernel, bitvector priorities normalized at
+    send time, bitprio pools on every PE — on the app that motivates
+    bitvector priorities (N-queens with path-encoded node priorities).
+    """
+    from repro import make_machine
+    from repro.apps.nqueens import run_nqueens
+
+    (_, nodes), _ = run_nqueens(
+        make_machine("ideal", 8), n=8, grainsize=3,
+        queueing="bitprio", use_priorities=True,
+    )
+    return nodes
+
+
+def _search_tsp_prio() -> int:
+    """End-to-end int-prioritized branch-and-bound (TSP, prio pools)."""
+    from repro import make_machine
+    from repro.apps.tsp import run_tsp
+
+    (_, expanded, _), _ = run_tsp(
+        make_machine("ideal", 8), n=8, queueing="prio",
+    )
+    return expanded
+
+
 def measure_throughput(repeats: int = 5) -> Dict[str, float]:
     """Run every microbenchmark; returns {metric: ops_per_second}."""
     metrics = {
@@ -138,10 +249,25 @@ def measure_throughput(repeats: int = 5) -> Dict[str, float]:
         metrics[f"kernel_seeds_per_s_p{pes}"] = _best_rate(
             _seed_fanout(pes), repeats
         )
-    for name in ("fifo", "lifo", "prio", "bitprio"):
+    for name in ("fifo", "lifo", "prio", "bitprio", "priolifo"):
         metrics[f"pool_{name}_ops_per_s"] = _best_rate(
             _pool_churn(name), repeats
         )
+    metrics["pool_prio_default_ops_per_s"] = _best_rate(
+        _pool_churn_default("prio"), repeats
+    )
+    metrics["pool_bitprio_deep_ops_per_s"] = _best_rate(
+        _pool_churn_deep("bitprio"), repeats
+    )
+    metrics["pool_prio_mixed_ops_per_s"] = _best_rate(
+        _pool_churn_mixed("prio"), repeats
+    )
+    metrics["search_bitprio_nodes_per_s"] = _best_rate(
+        _search_nqueens_bitprio, repeats
+    )
+    metrics["search_tsp_prio_nodes_per_s"] = _best_rate(
+        _search_tsp_prio, repeats
+    )
     return metrics
 
 

@@ -47,7 +47,7 @@ from repro.util.errors import (
     SchedulingError,
     SharingError,
 )
-from repro.util.priority import PriorityLike
+from repro.util.priority import PriorityLike, normalize_priority
 from repro.util.rng import RngStream
 
 __all__ = ["Kernel", "RunResult", "ExecContext"]
@@ -196,7 +196,10 @@ class Kernel:
         self.destroyed: set = set()
         self.placement: Dict[int, Optional[int]] = {}
         self._next_gid = 0
-        self._pending_sends: Dict[int, List[Tuple[int, str, tuple, PriorityLike]]] = {}
+        # gid -> [(src_pe, entry, args, priority, prio_key)] buffered sends.
+        self._pending_sends: Dict[
+            int, List[Tuple[int, str, tuple, PriorityLike, Optional[tuple]]]
+        ] = {}
         self._premature: Dict[int, List[Envelope]] = {}
 
         self.bocs: Dict[int, Dict[int, BranchOfficeChare]] = {}
@@ -446,7 +449,7 @@ class Kernel:
         self.placement[gid] = pe
         pending = self._pending_sends.pop(gid, None)
         if pending:
-            for src_pe, entry_name, args, priority in pending:
+            for src_pe, entry_name, args, priority, prio_key in pending:
                 out = Envelope(
                     kind=Kind.APP,
                     src_pe=src_pe,
@@ -455,6 +458,7 @@ class Kernel:
                     args=args,
                     handle=ChareHandle(gid),
                     priority=priority,
+                    prio_key=prio_key,
                 )
                 self._deliver(out, self.now)
 
@@ -706,12 +710,15 @@ class Kernel:
         dst = self.placement.get(target.gid, "missing")
         if dst == "missing":
             raise RoutingError(f"send to unknown handle {target}")
+        # Normalize once at send time; every downstream enqueue (arrival,
+        # requeue, forwarding leg, fault retransmission) reuses the key.
+        key = None if priority is None else normalize_priority(priority)
         if dst is None:
             # Seed still being balanced: buffer; flushed (and counted) at
             # placement time.  Quiescence stays safe meanwhile because the
             # seed itself is in flight (sent > processed).
             self._pending_sends.setdefault(target.gid, []).append(
-                (ctx.pe, entry_name, args, priority)
+                (ctx.pe, entry_name, args, priority, key)
             )
             return
         env = Envelope(
@@ -722,6 +729,7 @@ class Kernel:
             args=args,
             handle=target,
             priority=priority,
+            prio_key=key,
         )
         ctx.outbox.append((ctx.charged, env))
 
@@ -749,6 +757,7 @@ class Kernel:
         handle = ChareHandle(gid)
         src = ctx.pe
         self.pes[src].seeds_created += 1
+        key = None if priority is None else normalize_priority(priority)
         if pe is not None:
             if not 0 <= pe < self.num_pes:
                 raise RoutingError(f"create on invalid PE {pe}")
@@ -763,6 +772,7 @@ class Kernel:
                 chare_cls=chare_cls,
                 fixed=True,
                 priority=priority,
+                prio_key=key,
             )
         else:
             self.placement[gid] = None
@@ -776,6 +786,7 @@ class Kernel:
                 handle=handle,
                 chare_cls=chare_cls,
                 priority=priority,
+                prio_key=key,
             )
         ctx.outbox.append((ctx.charged, env))
         return handle
@@ -855,6 +866,7 @@ class Kernel:
             args=args,
             boc=boc,
             priority=priority,
+            prio_key=None if priority is None else normalize_priority(priority),
         )
         ctx.outbox.append((ctx.charged, env))
 
@@ -1133,7 +1145,7 @@ class Kernel:
         dst = self.placement.get(target.gid)
         if dst is None:
             self._pending_sends.setdefault(target.gid, []).append(
-                (src_pe, entry_name, args, None)
+                (src_pe, entry_name, args, None, None)
             )
             return
         env = Envelope(

@@ -67,6 +67,11 @@ class Envelope:
     # SVC: which runtime service ("qd", "share", "lb").
     service: Optional[str] = None
     priority: PriorityLike = None
+    # Normalized sort key of ``priority``, computed once by the kernel when
+    # the envelope is built (None for unprioritized messages).  Requeues,
+    # load-balancer forwarding legs, and fault-retry retransmissions all
+    # reuse it instead of re-normalizing per hop.
+    prio_key: Optional[Tuple] = field(default=None, repr=False)
     system: bool = False
     counted: bool = True
     # SEED with fixed placement (explicit pe=) — balancer hooks are skipped.

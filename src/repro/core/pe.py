@@ -129,15 +129,19 @@ class PEState:
 
     # ------------------------------------------------------------------ queues
     def enqueue(self, env: Envelope) -> None:
-        """Queue an arrived envelope in the right lane."""
+        """Queue an arrived envelope in the right lane.
+
+        ``env.prio_key`` (normalized once at send time by the kernel) rides
+        along so prioritized strategies never re-normalize per hop.
+        """
         kind = env.kind
         if kind == _SEED:
-            self.seed_pool.push(env, env.priority)
+            self.seed_pool.push(env, env.priority, env.prio_key)
             self._app_queued += 1
         elif env.system or kind == _SVC:
             self._system.append(env)
         else:
-            self._app.push(env, env.priority)
+            self._app.push(env, env.priority, env.prio_key)
             self._app_len += 1
             self._app_queued += 1
         queued = self._queued = self._queued + 1
@@ -178,7 +182,7 @@ class PEState:
 
     def requeue_seed(self, env: Envelope) -> None:
         """Put a stolen-but-unmigratable seed back (keeps counters true)."""
-        self.seed_pool.push(env, env.priority)
+        self.seed_pool.push(env, env.priority, env.prio_key)
         self._queued += 1
         self._app_queued += 1
 

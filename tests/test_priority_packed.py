@@ -1,0 +1,177 @@
+"""Packed priority keys vs the historical tuple-of-bits reference.
+
+PR 4 replaced the per-bit tuple keys that ``normalize_priority`` used to
+emit — ``(1, (b0, b1, ...))`` for bitvectors, ``(0, v)`` for numerics,
+``(2, 0)`` for None — with packed-integer keys (see
+``repro.util.priority``'s module docstring).  These tests pin the
+refactor's contract: the packed keys induce *exactly* the ordering the
+tuple keys did, on ~10k randomized pairs and on the adversarial shapes
+(prefixes, chunk boundaries, trailing zeros) where a packing bug would
+hide.  Randomness comes from :class:`repro.util.rng.RngStream`, never the
+wall clock, so a failure reproduces bit-for-bit.
+"""
+
+import pytest
+
+from repro.core.messages import Envelope, Kind
+from repro.queueing.strategies import make_strategy
+from repro.util.priority import BitVectorPriority, normalize_priority
+from repro.util.rng import RngStream
+
+# ---------------------------------------------------------------- reference
+
+
+def _reference_key(priority):
+    """The pre-PR-4 tuple-of-bits normalized key, re-implemented verbatim."""
+    if priority is None:
+        return (2, 0)
+    if isinstance(priority, BitVectorPriority):
+        return (1, priority.bits)
+    if isinstance(priority, (int, float)):
+        return (0, priority)
+    if isinstance(priority, (tuple, list)):
+        return _reference_key(BitVectorPriority(priority))
+    raise TypeError(priority)
+
+
+def _random_priority(rng):
+    """One random priority drawn from the full user-facing domain."""
+    kind = rng.randint(0, 10)
+    if kind == 0:
+        return None
+    if kind <= 3:
+        return rng.randint(-(10**6), 10**6)
+    if kind == 4:
+        return rng.uniform(-1000.0, 1000.0)
+    # Bitvectors with lengths clustered around the 63-bit chunk boundary
+    # (0..2 chunks) so multi-element packed keys get real coverage.
+    length = rng.randint(0, 140)
+    return BitVectorPriority(rng.randint(0, 2) for _ in range(length))
+
+
+# ------------------------------------------------------------------ pairwise
+
+
+def test_packed_key_matches_reference_pairwise():
+    """~10k random pairs: packed-key order == historical tuple-key order."""
+    rng = RngStream(20260805, "packed-key-equivalence")
+    for trial in range(10_000):
+        a = _random_priority(rng)
+        b = _random_priority(rng)
+        ka, kb = normalize_priority(a), normalize_priority(b)
+        ra, rb = _reference_key(a), _reference_key(b)
+        assert (ka < kb) == (ra < rb), (a, b)
+        assert (ka > kb) == (ra > rb), (a, b)
+        assert (ka == kb) == (ra == rb), (a, b)
+
+
+def test_packed_key_sorted_order_matches_reference():
+    """Sorting a mixed batch by packed key == sorting by reference key."""
+    rng = RngStream(20260805, "packed-key-sort")
+    prios = [_random_priority(rng) for _ in range(2_000)]
+    indexed = list(enumerate(prios))
+    by_packed = sorted(indexed, key=lambda p: (normalize_priority(p[1]), p[0]))
+    by_reference = sorted(indexed, key=lambda p: (_reference_key(p[1]), p[0]))
+    assert [i for i, _ in by_packed] == [i for i, _ in by_reference]
+
+
+# ------------------------------------------------------- adversarial shapes
+
+
+def test_prefix_beats_extension_across_chunk_boundary():
+    """A prefix sorts before every extension, even when the extension
+    pushes the string past the 63-bit packing chunk."""
+    for plen in (1, 31, 62, 63, 64, 126, 127):
+        base = BitVectorPriority([1] * plen)
+        for extra in ([0], [1], [0] * 70, [1] * 70):
+            ext = base.extend(*extra)
+            if all(b == 0 for b in extra):
+                # Zero-extensions tie on the padded value; the length field
+                # must still rank the prefix first.
+                assert normalize_priority(base) < normalize_priority(ext)
+            assert normalize_priority(base) < normalize_priority(ext)
+            assert _reference_key(base) < _reference_key(ext)
+
+
+def test_chunk_boundary_lengths_round_trip():
+    """Keys at exactly 62/63/64/126/127 bits stay mutually ordered like
+    the reference, including equal-prefix trailing-zero ties."""
+    rng = RngStream(20260805, "chunk-boundaries")
+    prios = []
+    for length in (0, 1, 62, 63, 64, 65, 125, 126, 127):
+        for _ in range(40):
+            prios.append(BitVectorPriority(rng.randint(0, 2)
+                                           for _ in range(length)))
+    for i, a in enumerate(prios):
+        for b in prios[i + 1:]:
+            assert ((normalize_priority(a) < normalize_priority(b))
+                    == (_reference_key(a) < _reference_key(b)))
+
+
+def test_key_cached_on_instance():
+    """normalize_priority computes a bitvector's key once and caches it."""
+    p = BitVectorPriority((1, 0, 1))
+    k1 = normalize_priority(p)
+    k2 = normalize_priority(p)
+    assert k1 is k2
+
+
+def test_trusted_children_normalize_like_fresh_instances():
+    """Keys of extend()/child() products match freshly validated twins."""
+    rng = RngStream(20260805, "trusted-children")
+    p = BitVectorPriority()
+    bits = []
+    for depth in range(90):
+        fanout = rng.randint(1, 9)
+        index = rng.randint(0, fanout)
+        p = p.child(index, fanout)
+        width = max(1, (fanout - 1).bit_length())
+        bits.extend((index >> (width - 1 - i)) & 1 for i in range(width))
+        fresh = BitVectorPriority(bits)
+        assert p == fresh
+        assert normalize_priority(p) == normalize_priority(fresh)
+
+
+# -------------------------------------------------- envelope key round-trip
+
+
+def _envelope(priority, prio_key):
+    return Envelope(kind=Kind.APP, src_pe=0, dst_pe=0, entry="e",
+                    priority=priority, prio_key=prio_key)
+
+
+def test_envelope_cached_key_round_trips():
+    """A send-time cached prio_key equals a fresh normalization, and a
+    forwarded copy carries the same key object."""
+    rng = RngStream(20260805, "envelope-cache")
+    for _ in range(200):
+        prio = _random_priority(rng)
+        key = None if prio is None else normalize_priority(prio)
+        env = _envelope(prio, key)
+        if prio is not None:
+            assert env.prio_key == normalize_priority(env.priority)
+        fwd = Envelope(kind=Kind.SEED, src_pe=0, dst_pe=1, entry="e",
+                       priority=prio, prio_key=key).forwarded(2)
+        assert fwd.prio_key is key
+
+
+def test_pool_order_identical_with_and_without_cached_key():
+    """Pushing (priority, cached key) pops in the same order as pushing
+    the raw priority alone — across all prioritized strategies."""
+    rng = RngStream(20260805, "pool-cached-key")
+    prios = [_random_priority(rng) for _ in range(600)]
+    for name in ("prio", "bitprio", "priolifo"):
+        fresh = make_strategy(name)
+        cached = make_strategy(name)
+        for i, prio in enumerate(prios):
+            fresh.push(i, prio)
+            key = None if prio is None else normalize_priority(prio)
+            cached.push(i, prio, key)
+        order_fresh = [fresh.pop() for _ in range(len(prios))]
+        order_cached = [cached.pop() for _ in range(len(prios))]
+        assert order_fresh == order_cached, name
+
+
+def test_normalize_rejects_garbage():
+    with pytest.raises(Exception):
+        normalize_priority(object())

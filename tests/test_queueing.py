@@ -1,5 +1,7 @@
 """Unit tests for queueing strategies and the two-lane message pool."""
 
+import heapq
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -7,12 +9,14 @@ from repro.queueing.strategies import (
     BitvectorPriorityStrategy,
     FifoStrategy,
     IntPriorityStrategy,
+    LifoPriorityStrategy,
     LifoStrategy,
     MessagePool,
     make_strategy,
 )
 from repro.util.errors import ConfigurationError, SchedulingError
-from repro.util.priority import BitVectorPriority
+from repro.util.priority import BitVectorPriority, normalize_priority
+from repro.util.rng import RngStream
 
 
 def drain(q):
@@ -157,3 +161,166 @@ def test_property_fifo_lifo_are_reverses(values):
         f.push(v)
         l.push(v)
     assert drain(f) == list(reversed(drain(l)))
+
+
+# ------------------------------------------------------------------ priolifo
+
+
+def test_priolifo_smallest_priority_first():
+    q = LifoPriorityStrategy()
+    q.push("low", 10)
+    q.push("high", 1)
+    q.push("mid", 5)
+    assert drain(q) == ["high", "mid", "low"]
+
+
+def test_priolifo_lifo_within_equal_priority():
+    q = LifoPriorityStrategy()
+    for i in range(5):
+        q.push(i, 7)
+    assert drain(q) == [4, 3, 2, 1, 0]
+
+
+def test_priolifo_unprioritized_last_and_lifo():
+    q = LifoPriorityStrategy()
+    q.push("none1", None)
+    q.push("big", 10**9)
+    q.push("none2", None)
+    q.push("small", 1)
+    assert drain(q) == ["small", "big", "none2", "none1"]
+
+
+def test_priolifo_pop_empty_raises():
+    with pytest.raises(SchedulingError):
+        make_strategy("priolifo").pop()
+
+
+# ------------------------------------------- mixed priorities, all strategies
+
+
+def _mixed_items():
+    """(item, priority) covering None / ints / floats / bools / bitvectors."""
+    return [
+        ("none-a", None),
+        ("int-5", 5),
+        ("float-5", 5.0),
+        ("bool", True),
+        ("neg", -3),
+        ("edge-hi", 4096),       # first value past the bucket fast path
+        ("edge-lo", 4095),       # last value inside it
+        ("float-frac", 2.5),
+        ("bv-10", BitVectorPriority((1, 0))),
+        ("bv-101", BitVectorPriority((1, 0, 1))),
+        ("bv-01", BitVectorPriority((0, 1))),
+        ("none-b", None),
+        ("big", 10**9),
+    ]
+
+
+def test_mixed_priorities_order_prio():
+    q = IntPriorityStrategy()
+    for item, prio in _mixed_items():
+        q.push(item, prio)
+    # Numerics ascending (ties arrival-order), then bitvectors
+    # lexicographically, then unprioritized FIFO.
+    assert drain(q) == [
+        "neg", "bool", "float-frac", "int-5", "float-5", "edge-lo",
+        "edge-hi", "big", "bv-01", "bv-10", "bv-101", "none-a", "none-b",
+    ]
+
+
+def test_mixed_priorities_order_bitprio():
+    q = BitvectorPriorityStrategy()
+    for item, prio in _mixed_items():
+        q.push(item, prio)
+    assert drain(q) == [
+        "neg", "bool", "float-frac", "int-5", "float-5", "edge-lo",
+        "edge-hi", "big", "bv-01", "bv-10", "bv-101", "none-a", "none-b",
+    ]
+
+
+def test_mixed_priorities_order_priolifo():
+    q = LifoPriorityStrategy()
+    for item, prio in _mixed_items():
+        q.push(item, prio)
+    # Same priority order, but ties (5 == 5.0 == push order) pop newest
+    # first, and unprioritized items pop LIFO.
+    assert drain(q) == [
+        "neg", "bool", "float-frac", "float-5", "int-5", "edge-lo",
+        "edge-hi", "big", "bv-01", "bv-10", "bv-101", "none-b", "none-a",
+    ]
+
+
+def test_mixed_priorities_fifo_lifo_ignore_them():
+    items = _mixed_items()
+    f, l = FifoStrategy(), LifoStrategy()
+    for item, prio in items:
+        f.push(item, prio)
+        l.push(item, prio)
+    names = [item for item, _ in items]
+    assert drain(f) == names
+    assert drain(l) == list(reversed(names))
+
+
+# ------------------------------------- randomized pool vs single-heap oracle
+
+
+def _random_mixed_priority(rng):
+    kind = rng.randint(0, 8)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return rng.randint(-10, 10)
+    if kind == 2:
+        return rng.choice([4094, 4095, 4096, 4097])  # bucket-limit edges
+    if kind == 3:
+        return float(rng.randint(0, 20))              # integral floats
+    if kind == 4:
+        return bool(rng.randint(0, 2))
+    if kind == 5:
+        return rng.uniform(-5.0, 5.0)
+    return BitVectorPriority(rng.randint(0, 2)
+                             for _ in range(rng.randint(0, 8)))
+
+
+class _OracleHeap:
+    """Reference implementation: one heap of (key, seq, item)."""
+
+    def __init__(self, lifo=False):
+        self._heap = []
+        self._seq = 0
+        self._lifo = lifo
+
+    def push(self, item, priority=None):
+        self._seq += 1
+        seq = -self._seq if self._lifo else self._seq
+        heapq.heappush(self._heap, (normalize_priority(priority), seq, item))
+
+    def pop(self):
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self):
+        return len(self._heap)
+
+
+@pytest.mark.parametrize("name", ["prio", "bitprio", "priolifo"])
+def test_lane_split_pool_matches_single_heap_oracle(name):
+    """Interleaved push/pop: the lane-split pools pop the exact sequence a
+    plain normalized-key heap would, across every priority shape."""
+    rng = RngStream(20260805, "pool-oracle",
+                    ["prio", "bitprio", "priolifo"].index(name))
+    pool = make_strategy(name)
+    oracle = _OracleHeap(lifo=(name == "priolifo"))
+    pushed = 0
+    for step in range(3_000):
+        if len(oracle) and rng.randint(0, 3) == 0:
+            assert pool.pop() == oracle.pop()
+        else:
+            prio = _random_mixed_priority(rng)
+            pool.push(pushed, prio)
+            oracle.push(pushed, prio)
+            pushed += 1
+        assert len(pool) == len(oracle)
+    while len(oracle):
+        assert pool.pop() == oracle.pop()
+    assert not pool
