@@ -63,6 +63,19 @@ class Balancer(Service):
         )
 
     # ----------------------------------------------------------------- helpers
+    def trace_decision(self, pe: int, name: str, info=None) -> None:
+        """Record an ``lb`` event on the kernel's trace (no-op untraced).
+
+        Strategies call this at their decision points (steal requests,
+        donations, probes); placement and seed-forwarding decisions are
+        recorded by the kernel itself at its delivery hooks.
+        """
+        kernel = self.kernel
+        events = kernel._events
+        if events is not None:
+            events.record("lb", kernel.engine._now, pe, name=name,
+                          parent=events.ctx, info=info)
+
     def local_load(self, pe: int) -> int:
         """A PE may always inspect its *own* queues."""
         return self.kernel.pes[pe].load

@@ -72,14 +72,40 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write executor/cache statistics as JSON to PATH (CI artifact)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="record structured event traces and write one <run>.run.json "
+        "+ <run>.perfetto.json per run to DIR (tracing is off without "
+        "this flag)",
+    )
+    parser.add_argument(
+        "--trace-events",
+        default=None,
+        metavar="KINDS",
+        help="comma-separated event kinds to record (default: all); "
+        "implies tracing even without --trace-out",
+    )
     args = parser.parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]
     jobs = args.jobs if args.jobs is not None else default_jobs()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     progress = None if args.no_progress else _progress_printer()
     started = time.perf_counter()
-    executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress)
-    with executor, use_executor(executor):
+    tracing = args.trace_out is not None or args.trace_events is not None
+    trace_kinds = args.trace_events if args.trace_events is not None else "all"
+    executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress,
+                             trace_out=args.trace_out)
+    from contextlib import ExitStack
+
+    from repro.bench.harness import use_tracing
+
+    with ExitStack() as stack:
+        stack.enter_context(executor)
+        stack.enter_context(use_executor(executor))
+        if tracing:
+            stack.enter_context(use_tracing(trace_kinds))
         for exp_id in ids:
             result = run_experiment(exp_id, scale=args.scale)
             print(f"\n== {result.exp_id}: {result.title} ==")
@@ -119,6 +145,8 @@ def _summarize(executor, wall: float, stats_json) -> None:
             f"wall {wall:.1f}s")
     if cache is not None:
         line += f", cache hit-rate {cache['hit_rate']:.0%}"
+    if "traces_written" in stats:
+        line += f", {stats['traces_written']} traces written"
     print(line, file=sys.stderr)
     if stats_json:
         import json

@@ -73,6 +73,10 @@ class RunDescriptor:
     params: Tuple[Tuple[str, Any], ...] = ()
     #: ``MachineParams.scaled`` overrides applied after ``make_machine``.
     machine_scaled: Tuple[Tuple[str, Any], ...] = ()
+    #: Structured-event kinds to record (sorted; empty = tracing off).
+    #: Part of the cache key: a traced row carries its event payload, so it
+    #: must never be replayed for an untraced request (or vice versa).
+    trace: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------- display
     @property
@@ -99,7 +103,7 @@ class RunDescriptor:
     # ------------------------------------------------------------- hashing
     def canonical(self) -> Tuple[Any, ...]:
         """Stable, hashable projection of the full configuration."""
-        return (
+        base = (
             "run-v1",
             self.app,
             self.machine,
@@ -108,6 +112,11 @@ class RunDescriptor:
             tuple((k, canonical_value(v)) for k, v in self.params),
             tuple((k, canonical_value(v)) for k, v in self.machine_scaled),
         )
+        # Untraced descriptors keep the historical "run-v1" shape so the
+        # existing cache population stays valid.
+        if self.trace:
+            return base + (("@trace", tuple(self.trace)),)
+        return base
 
     def key(self, fingerprint: str = "") -> str:
         """Content-addressed cache key: descriptor plus code fingerprint."""

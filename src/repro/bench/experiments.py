@@ -208,7 +208,7 @@ def exp_t5(scale: str = "paper") -> ExperimentResult:
     pes = 8 if scale == "quick" else 16
     sizes = _sizes(scale)
     headers = ["strategy", "time (ms)", "mean util %", "imbalance",
-               "remote seeds", "control msgs"]
+               "max gap (ms)", "pool hw", "remote seeds", "control msgs"]
     rows = []
     data: Dict[str, Any] = {}
     answers = set()
@@ -225,6 +225,8 @@ def exp_t5(scale: str = "paper") -> ExperimentResult:
                 row.vtime_ms,
                 round(st.mean_utilization * 100, 1),
                 round(st.load_imbalance, 2),
+                round(st.max_idle_gap * 1e3, 3),
+                st.pool_high_water,
                 st.lb_seeds_remote,
                 st.lb_control_msgs,
             ]
@@ -233,6 +235,9 @@ def exp_t5(scale: str = "paper") -> ExperimentResult:
             "time": row.vtime,
             "util": st.mean_utilization,
             "imbalance": st.load_imbalance,
+            "idle_time": st.total_idle_time,
+            "max_idle_gap": st.max_idle_gap,
+            "pool_high_water": st.pool_high_water,
             "remote_seeds": st.lb_seeds_remote,
             "control": st.lb_control_msgs,
         }

@@ -17,6 +17,7 @@ through :func:`measure_many` so independent runs can overlap.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -45,7 +46,7 @@ from repro.util.errors import ConfigurationError
 
 __all__ = ["AppSpec", "APPS", "describe", "measure", "measure_many",
            "execute_descriptor", "speedup_sweep", "sweep_from_rows",
-           "SweepResult"]
+           "SweepResult", "use_tracing", "current_tracing"]
 
 
 @dataclass(frozen=True)
@@ -108,6 +109,37 @@ APPS: Dict[str, AppSpec] = {
 }
 
 
+# ------------------------------------------------------- ambient tracing
+#: Event kinds every subsequently-described run should record, installed
+#: by the bench CLI's ``--trace-events`` flag; () means tracing off.
+_tracing: Tuple[str, ...] = ()
+
+
+def current_tracing() -> Tuple[str, ...]:
+    """Event kinds ambient ``describe()`` calls will request (() = off)."""
+    return _tracing
+
+
+@contextmanager
+def use_tracing(kinds: Any):
+    """Trace every run described in this block with the given event kinds.
+
+    ``kinds`` accepts the same spellings as ``Kernel(trace_events=...)``:
+    ``True``/``"all"``, an iterable of kind names, or a comma-joined
+    string.  Tracing becomes part of each run's descriptor (and therefore
+    of its cache key) — it never silently alters untraced measurements.
+    """
+    from repro.trace.events import normalize_kinds
+
+    global _tracing
+    previous = _tracing
+    _tracing = normalize_kinds(kinds)
+    try:
+        yield _tracing
+    finally:
+        _tracing = previous
+
+
 @dataclass
 class MeasureRow:
     """One (app, machine, P, strategies) measurement.
@@ -133,6 +165,10 @@ class MeasureRow:
     qd_work_end: Optional[float] = None
     last_counted_exec_time: float = 0.0
     result: Optional[RunResult] = field(default=None, repr=False)
+    #: Structured-event payload ("repro-trace-v1" dict) when the run was
+    #: described with tracing on; plain data, so it survives pool workers
+    #: and the result cache.
+    trace: Any = field(default=None, repr=False)
 
     @property
     def vtime_ms(self) -> float:
@@ -148,9 +184,15 @@ def describe(
     balancer: Any = "random",
     seed: int = 0,
     machine_scaled: Optional[Dict[str, Any]] = None,
+    trace: Any = None,
     **overrides: Any,
 ) -> RunDescriptor:
-    """Normalise one configuration into a declarative run descriptor."""
+    """Normalise one configuration into a declarative run descriptor.
+
+    ``trace`` selects structured-event kinds for this run (same spellings
+    as ``Kernel(trace_events=...)``); ``None`` inherits the ambient
+    :func:`use_tracing` setting, ``()``/``""`` forces tracing off.
+    """
     try:
         spec = APPS[app]
     except KeyError:
@@ -163,6 +205,14 @@ def describe(
         params["queueing"] = queueing
     params.setdefault("queueing", "fifo")
     params.setdefault("balancer", balancer)
+    if trace is None:
+        trace_kinds = _tracing
+    elif not trace:  # explicit off: (), "", False
+        trace_kinds = ()
+    else:
+        from repro.trace.events import normalize_kinds
+
+        trace_kinds = normalize_kinds(trace)
     return RunDescriptor(
         app=app,
         machine=machine_name,
@@ -172,6 +222,7 @@ def describe(
         machine_scaled=tuple(
             sorted((machine_scaled or {}).items(), key=lambda kv: kv[0])
         ),
+        trace=trace_kinds,
     )
 
 
@@ -190,8 +241,30 @@ def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
     machine = make_machine(desc.machine, desc.num_pes)
     if desc.machine_scaled:
         machine.params = machine.params.scaled(**dict(desc.machine_scaled))
+    if desc.trace:
+        # Forwarded to Kernel(trace_events=...) via the runner's
+        # **kernel_kwargs passthrough (every registered app supports it).
+        params["trace_events"] = list(desc.trace)
     answer, result = spec.runner(machine, seed=desc.seed, **params)
     kernel = result.kernel
+    trace_payload = None
+    if desc.trace and kernel is not None and kernel.events is not None:
+        log = kernel.events
+        trace_payload = {
+            "format": "repro-trace-v1",
+            "meta": {
+                "app": desc.app,
+                "machine": desc.machine,
+                "num_pes": desc.num_pes,
+                "seed": desc.seed,
+                "queueing": desc.queueing,
+                "balancer": desc.balancer_label,
+                "total_time": result.time,
+                "kinds": list(log.kinds),
+            },
+            "events": log.as_records(),
+            "dropped": log.dropped,
+        }
     return MeasureRow(
         app=desc.app,
         machine=desc.machine,
@@ -208,6 +281,7 @@ def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
         last_counted_exec_time=(0.0 if kernel is None
                                 else kernel.last_counted_exec_time),
         result=result,
+        trace=trace_payload,
     )
 
 

@@ -91,17 +91,23 @@ class SweepExecutor:
         cache: Optional[ResultCache] = None,
         timeout: float = DEFAULT_TIMEOUT,
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        trace_out: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, int(jobs if jobs is not None else default_jobs()))
         self.cache = cache
         self.timeout = timeout
         self.progress = progress
+        #: Directory for structured-event exports: every completed row that
+        #: carries a trace payload is written there as a ``.run.json``
+        #: (events + sampled metrics) plus a ``.perfetto.json`` twin.
+        self.trace_out = trace_out
         self._pool = None
         # Lifetime totals, for the CLI/CI summary.
         self.runs_executed = 0
         self.runs_cached = 0
         self.batches = 0
         self.wall_s = 0.0
+        self.traces_written = 0
 
     # -------------------------------------------------------------- lifecycle
     def _ensure_pool(self):
@@ -155,8 +161,45 @@ class SweepExecutor:
             else:
                 self._run_pooled(descs, rows, pending, label, cached)
             self.runs_executed += len(pending)
+        if self.trace_out is not None:
+            self._write_traces(descs, rows)
         self.wall_s += time.perf_counter() - started
         return rows
+
+    def _write_traces(self, descs, rows) -> None:
+        """Export every traced row of the batch under ``trace_out``.
+
+        Cached replays are exported too (their payload travels with the
+        row), so re-running a traced sweep always regenerates its files.
+        """
+        import json
+        import re
+
+        os.makedirs(self.trace_out, exist_ok=True)
+        for desc, row in zip(descs, rows):
+            trace = getattr(row, "trace", None)
+            if trace is None:
+                continue
+            from repro.metrics import sample_metrics
+            from repro.trace.perfetto import write_perfetto
+
+            doc = dict(trace)
+            doc["metrics"] = sample_metrics(
+                doc["events"],
+                num_pes=doc["meta"].get("num_pes"),
+                t_end=doc["meta"].get("total_time"),
+            )
+            stem = re.sub(r"[^A-Za-z0-9._-]+", "-", desc.label()).strip("-")
+            stem = f"{stem}-{desc.key()[:8]}"
+            run_path = os.path.join(self.trace_out, stem + ".run.json")
+            with open(run_path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh)
+                fh.write("\n")
+            write_perfetto(
+                os.path.join(self.trace_out, stem + ".perfetto.json"),
+                doc["events"], meta=doc["meta"], metrics=doc["metrics"],
+            )
+            self.traces_written += 1
 
     def _run_inline(self, descs, rows, pending, label, cached) -> None:
         """The historical serial path: same process, same submission order."""
@@ -252,6 +295,8 @@ class SweepExecutor:
             "runs_cached": self.runs_cached,
             "wall_s": round(self.wall_s, 3),
         }
+        if self.trace_out is not None:
+            out["traces_written"] = self.traces_written
         if self.cache is not None:
             out["cache"] = self.cache.stats()
         return out

@@ -106,6 +106,7 @@ class Kernel:
         spanning_tree: str = "auto",
         timeline: bool = False,
         faults: Any = None,
+        trace_events: Any = None,
     ) -> None:
         from repro.sim.engine import Engine  # local import: keep core light
         from repro.balance import make_balancer
@@ -159,6 +160,21 @@ class Kernel:
 
         self.timeline: Optional[Timeline] = Timeline() if timeline else None
 
+        # Structured event tracing (repro.trace.events): accepts True/"all",
+        # an iterable of event kinds, or a pre-built EventLog; None keeps
+        # the untraced fast path (the hooks below cost one `is None` check
+        # per site, the same inert-when-off pattern as the fault layer).
+        if trace_events is None:
+            self.events = None
+        else:
+            from repro.trace.events import EventLog
+
+            if isinstance(trace_events, EventLog):
+                self.events = trace_events
+            else:
+                self.events = EventLog(kinds=trace_events)
+        self._events = self.events
+
         self.pes: List[PEState] = [
             PEState(i, strategy_name=queueing) for i in range(machine.num_pes)
         ]
@@ -196,9 +212,13 @@ class Kernel:
         self.destroyed: set = set()
         self.placement: Dict[int, Optional[int]] = {}
         self._next_gid = 0
-        # gid -> [(src_pe, entry, args, priority, prio_key)] buffered sends.
+        # gid -> [(src_pe, entry, args, priority, prio_key, trace_parent)]
+        # buffered sends; trace_parent is the sending execution's event id
+        # (None when tracing is off), restored around the flush in _place.
         self._pending_sends: Dict[
-            int, List[Tuple[int, str, tuple, PriorityLike, Optional[tuple]]]
+            int,
+            List[Tuple[int, str, tuple, PriorityLike, Optional[tuple],
+                       Optional[int]]],
         ] = {}
         self._premature: Dict[int, List[Envelope]] = {}
 
@@ -384,6 +404,9 @@ class Kernel:
         if env.uid is None:
             env.uid = self._next_uid
             self._next_uid += 1
+        events = self._events
+        if events is not None:
+            events.msg_send(departure, env)
         if env.counted and not env.suppress_sent_count:
             self.counted_sent[src_pe] += 1
         dst_pe = env.dst_pe
@@ -412,6 +435,9 @@ class Kernel:
         dst_pe = env.dst_pe
         pe = self.pes[dst_pe]
         src_pe = env.src_pe
+        events = self._events
+        if events is not None:
+            events.msg_deliver(self.engine._now, env)
         if src_pe != dst_pe or not self._note_load_is_base:
             # Base note_load ignores self-loads, so the local-message call
             # is skipped when the hook is not overridden.
@@ -420,7 +446,23 @@ class Kernel:
             fwd = self._on_seed_arrival(dst_pe, env)
             if fwd is not None and fwd != dst_pe:
                 pe.seeds_forwarded_in += 1
-                self._deliver(env.forwarded(fwd), self.now + self.params.recv_overhead)
+                if events is None:
+                    self._deliver(env.forwarded(fwd),
+                                  self.now + self.params.recv_overhead)
+                    return
+                # Chain the forwarding leg through an explicit LB decision
+                # event parented on this delivery, so multi-hop seeds stay
+                # one causal chain (each leg gets a fresh uid).
+                decision = events.record(
+                    "lb", self.engine._now, dst_pe, name="forward",
+                    uid=env.uid, parent=events.deliver_parent(env.uid),
+                    info={"to": fwd, "hops": env.hops + 1},
+                )
+                saved = events.ctx
+                events.ctx = decision
+                self._deliver(env.forwarded(fwd),
+                              self.now + self.params.recv_overhead)
+                events.ctx = saved
                 return
             # NOTE: placement is recorded at *construction*, not here, so a
             # work-stealing balancer may still extract the queued seed.
@@ -449,7 +491,8 @@ class Kernel:
         self.placement[gid] = pe
         pending = self._pending_sends.pop(gid, None)
         if pending:
-            for src_pe, entry_name, args, priority, prio_key in pending:
+            events = self._events
+            for src_pe, entry_name, args, priority, prio_key, parent in pending:
                 out = Envelope(
                     kind=Kind.APP,
                     src_pe=src_pe,
@@ -460,7 +503,15 @@ class Kernel:
                     priority=priority,
                     prio_key=prio_key,
                 )
-                self._deliver(out, self.now)
+                if events is None:
+                    self._deliver(out, self.now)
+                else:
+                    # The flush runs inside the *constructing* execution;
+                    # re-parent each send on the execution that buffered it.
+                    saved = events.ctx
+                    events.ctx = parent
+                    self._deliver(out, self.now)
+                    events.ctx = saved
 
     # ================================================================ scheduler
     def _start_service(self, pe: PEState) -> None:
@@ -512,6 +563,17 @@ class Kernel:
         ctx.system = env.system or kind == _SVC
         outbox = ctx.outbox
         outbox.clear()
+        # busy_until still holds the previous execution's end: the window
+        # since then is this PE's idle gap (tracked always — one compare —
+        # for the TraceReport largest_idle_gap aggregate).
+        prev_end = pe.busy_until
+        if start > prev_end and start - prev_end > pe.largest_idle_gap:
+            pe.largest_idle_gap = start - prev_end
+        events = self._events
+        if events is not None:
+            # Recorded before the body so sends made during it (outbox,
+            # buffered flushes, service traffic) parent on this execution.
+            begin_eid = events.exec_begin(start, pe.index, env, prev_end)
         self._current = ctx
         try:
             # Inlined _dispatch for the two per-message kinds; SVC/BOC (and
@@ -570,6 +632,12 @@ class Kernel:
                 self._deliver(out, start + min(offset, duration))
             outbox.clear()
         pe.busy_until = busy_until = start + duration
+        if events is not None:
+            # After the outbox flush so the sends fall inside this
+            # execution's causal window; exit-flagged ends anchor the
+            # critical-path walk.
+            events.exec_end(busy_until, pe.index, env, duration, begin_eid,
+                            self._exit_requested)
         if self._exit_requested and not self._exited:
             self._exited = True
             self._final_time = busy_until
@@ -717,8 +785,10 @@ class Kernel:
             # Seed still being balanced: buffer; flushed (and counted) at
             # placement time.  Quiescence stays safe meanwhile because the
             # seed itself is in flight (sent > processed).
+            events = self._events
             self._pending_sends.setdefault(target.gid, []).append(
-                (ctx.pe, entry_name, args, priority, key)
+                (ctx.pe, entry_name, args, priority, key,
+                 None if events is None else events.ctx)
             )
             return
         env = Envelope(
@@ -777,6 +847,13 @@ class Kernel:
         else:
             self.placement[gid] = None
             target = self.balancer.on_new_seed(src, chare_cls)
+            events = self._events
+            if events is not None and target != src:
+                events.record(
+                    "lb", self.engine._now, src, name="place",
+                    parent=events.ctx,
+                    info={"to": target, "chare": chare_cls.__name__},
+                )
             env = Envelope(
                 kind=Kind.SEED,
                 src_pe=src,
@@ -1144,8 +1221,10 @@ class Kernel:
         """Service helper: deliver an application message to a chare handle."""
         dst = self.placement.get(target.gid)
         if dst is None:
+            events = self._events
             self._pending_sends.setdefault(target.gid, []).append(
-                (src_pe, entry_name, args, None, None)
+                (src_pe, entry_name, args, None, None,
+                 None if events is None else events.ctx)
             )
             return
         env = Envelope(

@@ -61,6 +61,7 @@ class PEState:
         "steal_attempts",
         "steals_satisfied",
         "max_queued",
+        "largest_idle_gap",
         "msgs_dropped",
         "msgs_delayed",
         "msgs_duplicated",
@@ -107,6 +108,9 @@ class PEState:
         self.steal_attempts = 0
         self.steals_satisfied = 0
         self.max_queued = 0   # high-water mark over all three lanes
+        # Longest idle window between consecutive executions (the kernel
+        # updates it from busy_until at each execution start).
+        self.largest_idle_gap = 0.0
 
         # Fault-injection counters (always zero without a fault layer).
         # Loss/delay/dup counters are charged to the *destination* PE (the

@@ -185,18 +185,28 @@ class FaultLayer:
             return
         cfg = self.config
         rng = self._net_rng
-        pe = self.kernel.pes[env.dst_pe]
+        kernel = self.kernel
+        pe = kernel.pes[env.dst_pe]
+        events = kernel._events
         if cfg.jitter > 0.0:
             arrival += rng.random() * cfg.jitter
         if cfg.delay_prob > 0.0 and rng.random() < cfg.delay_prob:
             arrival += cfg.delay_spike
             pe.msgs_delayed += 1
             self.msgs_delayed += 1
+            if events is not None:
+                events.record("fault", departure, env.dst_pe, name="delay",
+                              uid=env.uid, parent=events.send_parent(env.uid),
+                              dur=cfg.delay_spike)
         duplicated = cfg.dup_prob > 0.0 and rng.random() < cfg.dup_prob
         if duplicated:
             self._tracked.add(env.uid)
             pe.msgs_duplicated += 1
             self.msgs_duplicated += 1
+            if events is not None:
+                events.record("fault", departure, env.dst_pe, name="dup",
+                              uid=env.uid, parent=events.send_parent(env.uid),
+                              dur=cfg.dup_lag)
             self._schedule(arrival + cfg.dup_lag, self._arrive_checked_cb, env)
         if cfg.drop_prob > 0.0 and env.counted:
             # Reliable-delivery protocol: remember the envelope, arm the
@@ -208,6 +218,11 @@ class FaultLayer:
             if rng.random() < cfg.drop_prob:
                 pe.msgs_dropped += 1
                 self.msgs_dropped += 1
+                if events is not None:
+                    events.record("fault", departure, env.dst_pe, name="drop",
+                                  uid=env.uid,
+                                  parent=events.send_parent(env.uid),
+                                  info={"attempt": 0})
                 return
         self._schedule(arrival, self._arrive_checked_cb, env)
 
@@ -219,9 +234,17 @@ class FaultLayer:
                 # Idempotent receive: the entry already ran (or will run)
                 # from the first copy; suppress, but re-ack in case the
                 # sender is retransmitting because our ack was lost.
-                pe = self.kernel.pes[env.dst_pe]
+                kernel = self.kernel
+                pe = kernel.pes[env.dst_pe]
                 pe.dups_suppressed += 1
                 self.dups_suppressed += 1
+                events = kernel._events
+                if events is not None:
+                    # The suppressed copy links to the uid's original send:
+                    # the logical message stays a single causal chain.
+                    events.record("fault", kernel.engine._now, env.dst_pe,
+                                  name="dup_suppressed", uid=uid,
+                                  parent=events.send_parent(uid))
                 if uid in self._pending:
                     self._send_ack(env)
                 return
@@ -274,6 +297,13 @@ class FaultLayer:
         kernel.pes[env.src_pe].retries += 1
         self.retries += 1
         now = kernel.engine._now
+        events = kernel._events
+        if events is not None:
+            # Parent on the *original* send event: the retransmission stays
+            # on the logical message's chain instead of rooting a fresh one.
+            events.record("fault", now, env.src_pe, name="retry", uid=uid,
+                          parent=events.send_parent(uid),
+                          info={"attempt": attempt})
         # The retransmitted copy is a real data message: it pays transit
         # again (including contention) and faces the same perturbations.
         # It does NOT re-increment counted_sent / msgs_sent — quiescence
@@ -290,6 +320,10 @@ class FaultLayer:
         if rng.random() < cfg.drop_prob:
             pe.msgs_dropped += 1
             self.msgs_dropped += 1
+            if events is not None:
+                events.record("fault", now, env.dst_pe, name="drop", uid=uid,
+                              parent=events.send_parent(uid),
+                              info={"attempt": attempt})
         else:
             self._schedule(arrival, self._arrive_checked_cb, env)
         backoff = cfg.ack_timeout * (cfg.retry_backoff ** attempt)
@@ -304,10 +338,17 @@ class FaultLayer:
             duration *= cfg.slow_factor
         if cfg.stall_prob > 0.0 and self._pe_rng.random() < cfg.stall_prob:
             duration += cfg.stall_time
-            pe = self.kernel.pes[pe_index]
+            kernel = self.kernel
+            pe = kernel.pes[pe_index]
             pe.stalls += 1
             pe.stall_time += cfg.stall_time
             self.stalls += 1
+            events = kernel._events
+            if events is not None:
+                # ctx is the stalled execution's begin event (the kernel
+                # perturbs durations inside the exec window).
+                events.record("fault", start, pe_index, name="stall",
+                              parent=events.ctx, dur=cfg.stall_time)
         return duration
 
     # ------------------------------------------------------------ inspection

@@ -1,0 +1,5 @@
+"""Time-series metrics over structured event logs (see sampler)."""
+
+from repro.metrics.sampler import sample_metrics, metrics_summary
+
+__all__ = ["sample_metrics", "metrics_summary"]

@@ -1,0 +1,184 @@
+"""Time-series metrics sampler.
+
+Post-processes a structured event log (:mod:`repro.trace.events`) into
+time-bucketed JSON rows — the dashboard-ready complement to the
+end-of-run :class:`~repro.trace.report.TraceReport` aggregates:
+
+* ``util`` — fraction of PE-time spent executing in the bucket,
+* ``in_flight_max`` / ``bytes_on_wire_max`` — peak messages (bytes)
+  between send and delivery,
+* ``pool_max`` / ``pool_max_pe`` — deepest per-PE message pool (messages
+  delivered but not yet begun executing) and which PE held it,
+* ``msgs_sent`` / ``msgs_executed`` — event counts binned by time.
+
+Pure function of the records: identical whether the run executed inline,
+in a pool worker, or came back from the result cache.  Buckets are
+half-open ``[t0, t1)`` except the last, which closes at ``t_end``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["sample_metrics", "metrics_summary"]
+
+
+def _as_dict(record: Any) -> Dict[str, Any]:
+    return record if isinstance(record, dict) else record.as_dict()
+
+
+def _bucket_of(t: float, lo: float, width: float, buckets: int) -> int:
+    b = int((t - lo) / width)
+    return buckets - 1 if b >= buckets else (0 if b < 0 else b)
+
+
+def _peaks(
+    edges: List[Tuple[float, float]], lo: float, width: float, buckets: int
+) -> List[float]:
+    """Per-bucket maximum of a step function given (time, delta) edges.
+
+    Edges are applied in (time, delta) order — decrements first at ties,
+    so a message delivered and re-sent at the same instant never
+    double-counts.  The maximum seen in each bucket includes the value
+    carried in from the previous bucket.
+    """
+    edges.sort()
+    out = [0.0] * buckets
+    cur = 0.0
+    i = 0
+    n = len(edges)
+    for b in range(buckets):
+        hi = lo + (b + 1) * width
+        peak = cur
+        while i < n and (edges[i][0] < hi or b == buckets - 1):
+            cur += edges[i][1]
+            if cur > peak:
+                peak = cur
+            i += 1
+        out[b] = peak
+    return out
+
+
+def sample_metrics(
+    records: Sequence[Any],
+    buckets: int = 60,
+    num_pes: Optional[int] = None,
+    t_end: Optional[float] = None,
+) -> List[Dict[str, Any]]:
+    """Bucket a run's event records into time-series metric rows."""
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    events = [_as_dict(r) for r in records]
+    if not events:
+        return []
+    by_eid = {e["eid"]: e for e in events}
+
+    # exec_end events are stamped at their end time and idle_gap events at
+    # their start, so the run's extent is max(t, t + idle dur).
+    max_t = 0.0
+    max_pe = 0
+    for e in events:
+        end = e["t"] + ((e["dur"] or 0.0) if e["kind"] == "idle_gap" else 0.0)
+        if end > max_t:
+            max_t = end
+        if e["pe"] > max_pe:
+            max_pe = e["pe"]
+    if t_end is None:
+        t_end = max_t
+    if num_pes is None:
+        num_pes = max_pe + 1
+    lo = 0.0
+    span = t_end - lo
+    if span <= 0.0:
+        span = 1.0  # degenerate zero-span run: one catch-all bucket
+        t_end = lo + span
+    width = span / buckets
+
+    busy = [0.0] * buckets
+    msgs_sent = [0] * buckets
+    msgs_executed = [0] * buckets
+    flight_edges: List[Tuple[float, float]] = []
+    wire_edges: List[Tuple[float, float]] = []
+    # pool edges per PE: uid delivered -> +1, its exec_begin -> -1.
+    pool_edges: Dict[int, List[Tuple[float, float]]] = {}
+    delivered_t: Dict[int, Tuple[float, int]] = {}
+    begun: Dict[int, float] = {}
+
+    for e in events:
+        kind = e["kind"]
+        t = e["t"]
+        if kind == "send":
+            msgs_sent[_bucket_of(t, lo, width, buckets)] += 1
+            # Undelivered sends (dropped without retry success) simply
+            # never close: for per-bucket peaks that is the same as
+            # closing at t_end.
+            flight_edges.append((t, 1.0))
+            nbytes = (e.get("info") or {}).get("nbytes", 0)
+            wire_edges.append((t, float(nbytes)))
+        elif kind == "deliver":
+            send = by_eid.get(e.get("parent"))
+            if send is not None and send["kind"] == "send":
+                flight_edges.append((t, -1.0))
+                nbytes = (send.get("info") or {}).get("nbytes", 0)
+                wire_edges.append((t, -float(nbytes)))
+            uid = e.get("uid")
+            if uid is not None and uid not in delivered_t:
+                delivered_t[uid] = (t, e["pe"])
+        elif kind == "exec_begin":
+            uid = e.get("uid")
+            if uid is not None and uid not in begun:
+                begun[uid] = t
+        elif kind == "exec_end":
+            dur = e.get("dur") or 0.0
+            start = t - dur
+            msgs_executed[_bucket_of(t, lo, width, buckets)] += 1
+            if dur > 0.0:
+                b0 = _bucket_of(start, lo, width, buckets)
+                b1 = _bucket_of(t, lo, width, buckets)
+                for b in range(b0, b1 + 1):
+                    w_lo = lo + b * width
+                    busy[b] += max(0.0, min(t, w_lo + width) - max(start, w_lo))
+
+    # Pool occupancy: delivery opens, first execution closes (or t_end).
+    for uid, (t_del, pe) in delivered_t.items():
+        edges = pool_edges.setdefault(pe, [])
+        edges.append((t_del, 1.0))
+        edges.append((begun.get(uid, t_end), -1.0))
+
+    in_flight = _peaks(flight_edges, lo, width, buckets)
+    on_wire = _peaks(wire_edges, lo, width, buckets)
+    pool_peaks = {pe: _peaks(edges, lo, width, buckets)
+                  for pe, edges in sorted(pool_edges.items())}
+
+    rows: List[Dict[str, Any]] = []
+    for b in range(buckets):
+        pool_max, pool_max_pe = 0, None
+        for pe, peaks in pool_peaks.items():
+            if peaks[b] > pool_max:
+                pool_max, pool_max_pe = peaks[b], pe
+        rows.append({
+            "bucket": b,
+            "t0": lo + b * width,
+            "t1": lo + (b + 1) * width,
+            "util": min(1.0, busy[b] / (width * num_pes)),
+            "msgs_sent": msgs_sent[b],
+            "msgs_executed": msgs_executed[b],
+            "in_flight_max": int(in_flight[b]),
+            "bytes_on_wire_max": int(on_wire[b]),
+            "pool_max": int(pool_max),
+            "pool_max_pe": pool_max_pe,
+        })
+    return rows
+
+
+def metrics_summary(rows: Sequence[Dict[str, Any]]) -> str:
+    """Compact peak/mean line for CLI output."""
+    if not rows:
+        return "metrics: (no samples)"
+    peak_flight = max(r["in_flight_max"] for r in rows)
+    peak_wire = max(r["bytes_on_wire_max"] for r in rows)
+    peak_pool = max(r["pool_max"] for r in rows)
+    mean_util = sum(r["util"] for r in rows) / len(rows)
+    return (f"metrics: {len(rows)} buckets, mean util {mean_util * 100:.1f}%, "
+            f"peak in-flight {peak_flight} msgs / {peak_wire} bytes, "
+            f"peak pool depth {peak_pool}")

@@ -52,6 +52,10 @@ class QuiescenceService(Service):
         self._agg: Dict[Tuple[int, int], dict] = {}
         self.waves_run = 0
         self.detected_at: Optional[float] = None
+        # Event id of the execution that scheduled the next wave timer;
+        # restored as the causal parent when the bare timer fires, so
+        # traced QD chains stay connected across the qd_interval sleep.
+        self._trace_parent: Optional[int] = None
         # Snapshot of kernel.last_counted_exec_time taken *at* detection,
         # before the callback's own (counted) messages move it: the true
         # end of application work, for latency accounting (T9).
@@ -79,7 +83,23 @@ class QuiescenceService(Service):
             for key in [k for k in self._agg if k[0] < wave]:
                 del self._agg[key]
         self.waves_run += 1
+        kernel = self.kernel
+        events = kernel._events
+        if events is None:
+            self.send(0, 0, "req", (self._wave,))
+            return
+        # Wave events chain to the execution that requested detection (or
+        # the previous root decision, via _trace_parent when this fires
+        # from the bare interval timer outside any execution).
+        parent = events.ctx if events.ctx is not None else self._trace_parent
+        wave_eid = events.record(
+            "qd", kernel.engine._now, 0, name="wave", parent=parent,
+            info={"wave": self._wave},
+        )
+        saved = events.ctx
+        events.ctx = wave_eid
         self.send(0, 0, "req", (self._wave,))
+        events.ctx = saved
 
     # --------------------------------------------------------------- handlers
     def handle(self, pe: int, op: str, args: tuple) -> None:
@@ -146,6 +166,7 @@ class QuiescenceService(Service):
                 f"QD accounting violated: processed {processed} > sent {sent}"
             )
         stable = idle and sent == processed
+        events = kernel._events
         if stable and self._prev_totals == (sent, processed):
             target, entry = self._callback  # type: ignore[misc]
             self._callback = None
@@ -153,7 +174,18 @@ class QuiescenceService(Service):
             self._agg.clear()
             self.detected_at = kernel.now
             self.work_end_at_detection = kernel.last_counted_exec_time
+            if events is not None:
+                events.record(
+                    "qd", kernel.engine._now, 0, name="detect",
+                    parent=events.ctx,
+                    info={"sent": sent, "waves": self.waves_run},
+                )
             kernel.send_app_from_service(0, target, entry, ())
             return
         self._prev_totals = (sent, processed) if stable else None
+        if events is not None:
+            # Remember this (root fold) execution: the interval timer below
+            # fires outside any execution, and the next wave's events must
+            # still chain back through the decision that scheduled it.
+            self._trace_parent = events.ctx
         kernel.engine.schedule_after(kernel.qd_interval, self._start_wave)

@@ -1,0 +1,284 @@
+"""Structured event log — the Projections-class tracing substrate.
+
+When a kernel is created with ``trace_events=...`` it records one
+:class:`Event` per interesting runtime occurrence:
+
+======================  =====================================================
+kind                    meaning (``pe`` column)
+======================  =====================================================
+``send``                an envelope entered the network (source PE)
+``deliver``             an envelope reached its destination pool (dest PE)
+``exec_begin``          an entry-method execution started (executing PE)
+``exec_end``            that execution completed; ``dur`` is its length
+``idle_gap``            the PE was idle between two executions (``dur`` gap)
+``lb``                  a load-balancer decision (place/forward/steal/donate)
+``qd``                  a quiescence-detection wave started / detection fired
+``fault``               a fault-layer perturbation (drop/delay/dup/retry/...)
+======================  =====================================================
+
+Every event carries the virtual time ``t``, the PE it happened on, the
+envelope ``uid`` it concerns (when any) and a ``parent`` event id, so the
+message dependency chains of a run are reconstructible: an execution's
+parent is the delivery that queued its message, a delivery's parent is
+the send that launched it, and a send's parent is the execution (or
+runtime decision) that emitted it.  The critical-path analyzer
+(:mod:`repro.trace.critical_path`) and the Perfetto exporter
+(:mod:`repro.trace.perfetto`) are both pure functions of this log.
+
+The log is **bounded** (``max_events``): once full, further events are
+counted in ``dropped`` instead of appended, and their *parent* id is
+propagated in their place so surviving chains telescope through the
+dropped tail instead of breaking.  Kind filtering degrades the same way:
+a filtered-out kind still forwards its parent through the causal maps.
+
+Recording is inert-when-off: the kernel pays exactly one ``is None``
+check per hook site when no log is installed (the same pattern the fault
+layer uses), which is what keeps the tracing-off golden traces
+bit-identical and the throughput guards green.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["EVENT_KINDS", "Event", "EventLog", "normalize_kinds"]
+
+#: Every recordable event kind, in schema order.
+EVENT_KINDS = (
+    "send",
+    "deliver",
+    "exec_begin",
+    "exec_end",
+    "idle_gap",
+    "lb",
+    "qd",
+    "fault",
+)
+
+#: Default log bound: ~2M events covers every paper-scale run while keeping
+#: a runaway trace under a few hundred MB of host memory.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+# Envelope kind tag for seeds (avoids importing repro.core.messages here).
+_SEED_KIND = 1
+_SVC_KIND = 3
+
+
+class Event:
+    """One recorded runtime occurrence.  ``eid`` equals its log index."""
+
+    __slots__ = ("eid", "kind", "t", "pe", "uid", "parent", "name", "dur",
+                 "info")
+
+    def __init__(self, eid, kind, t, pe, uid, parent, name, dur, info):
+        self.eid = eid
+        self.kind = kind
+        self.t = t
+        self.pe = pe
+        self.uid = uid
+        self.parent = parent
+        self.name = name
+        self.dur = dur
+        self.info = info
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "eid": self.eid,
+            "kind": self.kind,
+            "t": self.t,
+            "pe": self.pe,
+            "uid": self.uid,
+            "parent": self.parent,
+            "name": self.name,
+            "dur": self.dur,
+            "info": self.info,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(#{self.eid} {self.kind} t={self.t:.6f} pe={self.pe}"
+                f" uid={self.uid} parent={self.parent} name={self.name!r})")
+
+
+def normalize_kinds(kinds: Union[bool, str, Iterable[str], None]) -> tuple:
+    """Canonicalise a kind selection to a sorted tuple of valid kinds."""
+    if kinds is None or kinds is True or kinds == "all":
+        return tuple(EVENT_KINDS)
+    if isinstance(kinds, str):
+        kinds = [k.strip() for k in kinds.split(",") if k.strip()]
+    selected = []
+    for kind in kinds:
+        if kind == "all":
+            return tuple(EVENT_KINDS)
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown trace event kind {kind!r}; "
+                f"options: {', '.join(EVENT_KINDS)} (or 'all')"
+            )
+        if kind not in selected:
+            selected.append(kind)
+    return tuple(sorted(selected))
+
+
+class EventLog:
+    """Bounded, kind-filtered recorder of one kernel run's events.
+
+    The kernel (and the services riding on it) call the ``msg_send`` /
+    ``msg_deliver`` / ``exec_begin`` / ``exec_end`` / ``record`` hooks;
+    everything else — export, analysis, sampling — happens after the run
+    on :meth:`as_records`.
+
+    ``ctx`` is the *causal cursor*: the event id that parents the next
+    send.  The kernel sets it to the current execution's ``exec_begin``
+    for the duration of that execution (including its outbox flush), and
+    runtime decisions (seed forwarding, QD waves, buffered-send flushes)
+    override it around their own deliveries.  Outside any of those
+    windows it is ``None`` and sends root a fresh chain.
+    """
+
+    def __init__(
+        self,
+        kinds: Union[bool, str, Iterable[str], None] = True,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if max_events < 1:
+            raise ConfigurationError("max_events must be >= 1")
+        self.kinds = normalize_kinds(kinds)
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+        self.ctx: Optional[int] = None
+        # uid -> eid of the (latest) send / deliver concerning it.  These
+        # never pop: fault retransmissions and late acks look up the
+        # original send arbitrarily far after delivery.
+        self._send_eid: Dict[int, Optional[int]] = {}
+        self._deliver_eid: Dict[int, Optional[int]] = {}
+        kindset = set(self.kinds)
+        self._rec_send = "send" in kindset
+        self._rec_deliver = "deliver" in kindset
+        self._rec_begin = "exec_begin" in kindset
+        self._rec_end = "exec_end" in kindset
+        self._rec_idle = "idle_gap" in kindset
+        self._rec_lb = "lb" in kindset
+        self._rec_qd = "qd" in kindset
+        self._rec_fault = "fault" in kindset
+
+    # -------------------------------------------------------------- recording
+    def _append(self, kind, t, pe, uid, parent, name, dur, info):
+        """Append one event; when full, count it and pass the parent on."""
+        events = self.events
+        if len(events) >= self.max_events:
+            self.dropped += 1
+            return parent
+        eid = len(events)
+        events.append(Event(eid, kind, t, pe, uid, parent, name, dur, info))
+        return eid
+
+    def msg_send(self, t: float, env) -> None:
+        """An envelope entered the network (kernel ``_deliver``)."""
+        uid = env.uid
+        if self._rec_send:
+            self._send_eid[uid] = self._append(
+                "send", t, env.src_pe, uid, self.ctx, env.entry, None,
+                {"dst": env.dst_pe, "nbytes": env.nbytes,
+                 "mkind": env.kind_name()},
+            )
+        else:
+            # Filtered: forward the causal cursor so downstream events
+            # still chain through to the sending execution.
+            self._send_eid[uid] = self.ctx
+
+    def msg_deliver(self, t: float, env) -> None:
+        """An envelope reached its destination pool (kernel ``_arrive``)."""
+        uid = env.uid
+        parent = self._send_eid.get(uid)
+        if self._rec_deliver:
+            self._deliver_eid[uid] = self._append(
+                "deliver", t, env.dst_pe, uid, parent, env.entry, None, None
+            )
+        else:
+            self._deliver_eid[uid] = parent
+
+    def exec_begin(self, start: float, pe: int, env, prev_end: float):
+        """An execution started; returns the token ``exec_end`` needs."""
+        if self._rec_idle and start > prev_end:
+            self._append("idle_gap", prev_end, pe, None, None, None,
+                         start - prev_end, None)
+        uid = env.uid
+        parent = self._deliver_eid.get(uid)
+        if env.kind == _SEED_KIND and env.chare_cls is not None:
+            name = env.chare_cls.__name__
+        elif env.kind == _SVC_KIND:
+            name = f"{env.service}:{env.entry}"
+        else:
+            name = env.entry
+        if self._rec_begin:
+            eid = self._append("exec_begin", start, pe, uid, parent, name,
+                               None, None)
+        else:
+            eid = parent
+        self.ctx = eid
+        return eid
+
+    def exec_end(self, end: float, pe: int, env, duration: float,
+                 begin_eid, exited: bool) -> None:
+        """The execution identified by ``begin_eid`` completed."""
+        if self._rec_end:
+            self._append("exec_end", end, pe, env.uid, begin_eid, env.entry,
+                         duration, {"exit": True} if exited else None)
+        self.ctx = None
+
+    def record(
+        self,
+        kind: str,
+        t: float,
+        pe: int,
+        name: Optional[str] = None,
+        uid: Optional[int] = None,
+        parent: Optional[int] = None,
+        dur: Optional[float] = None,
+        info: Optional[dict] = None,
+    ):
+        """Record a control-plane event (``lb`` / ``qd`` / ``fault``).
+
+        Returns the new event id (or the forwarded parent when the kind
+        is filtered out or the log is full).
+        """
+        if kind == "lb":
+            enabled = self._rec_lb
+        elif kind == "qd":
+            enabled = self._rec_qd
+        elif kind == "fault":
+            enabled = self._rec_fault
+        else:
+            raise ConfigurationError(
+                f"record() is for control-plane kinds, not {kind!r}"
+            )
+        if not enabled:
+            return parent
+        return self._append(kind, t, pe, uid, parent, name, dur, info)
+
+    # ------------------------------------------------------------- chain maps
+    def send_parent(self, uid: int) -> Optional[int]:
+        """Event id of the send concerning ``uid`` (fault layer hook)."""
+        return self._send_eid.get(uid)
+
+    def deliver_parent(self, uid: int) -> Optional[int]:
+        """Event id of the delivery concerning ``uid`` (forwarding hook)."""
+        return self._deliver_eid.get(uid)
+
+    # -------------------------------------------------------------- accessors
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind (every selected kind is present)."""
+        out = {kind: 0 for kind in self.kinds}
+        for event in self.events:
+            out[event.kind] += 1
+        return out
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """Plain-dict projection (picklable, JSON-ready), in event order."""
+        return [event.as_dict() for event in self.events]

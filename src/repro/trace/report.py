@@ -40,6 +40,11 @@ class PERow:
     retries: int = 0
     stalls: int = 0
     stall_time: float = 0.0
+    # Idle-structure aggregates (derived from the always-on counters; no
+    # timeline required): total idle time over the run and the longest
+    # contiguous idle window between two executions.
+    idle_time: float = 0.0
+    largest_idle_gap: float = 0.0
 
 
 @dataclass
@@ -102,6 +107,8 @@ class TraceReport:
                     retries=pe.retries,
                     stalls=pe.stalls,
                     stall_time=pe.stall_time,
+                    idle_time=max(0.0, t - pe.busy_time),
+                    largest_idle_gap=pe.largest_idle_gap,
                 )
             )
         faults = getattr(kernel, "faults", None)
@@ -162,6 +169,21 @@ class TraceReport:
         return sum(r.utilization for r in self.pe_rows) / len(self.pe_rows)
 
     @property
+    def total_idle_time(self) -> float:
+        """Sum of per-PE idle time (P * total_time - total busy time)."""
+        return sum(r.idle_time for r in self.pe_rows)
+
+    @property
+    def max_idle_gap(self) -> float:
+        """Longest contiguous idle window on any PE."""
+        return max((r.largest_idle_gap for r in self.pe_rows), default=0.0)
+
+    @property
+    def pool_high_water(self) -> int:
+        """Deepest message pool any PE reached during the run."""
+        return max((r.max_pool for r in self.pe_rows), default=0)
+
+    @property
     def load_imbalance(self) -> float:
         """max(busy) / mean(busy) — 1.0 is perfectly balanced."""
         busys = [r.busy_time for r in self.pe_rows]
@@ -181,6 +203,9 @@ class TraceReport:
             "charged": self.total_charged,
             "mean_util": self.mean_utilization,
             "imbalance": self.load_imbalance,
+            "idle_time": self.total_idle_time,
+            "max_idle_gap": self.max_idle_gap,
+            "pool_high_water": self.pool_high_water,
             "qd_waves": self.qd_waves,
             "lb_control": self.lb_control_msgs,
             "lb_remote_seeds": self.lb_seeds_remote,
@@ -210,6 +235,8 @@ class TraceReport:
             f"  bytes sent        : {d['bytes_sent']:10d}",
             f"  mean utilization  : {d['mean_util'] * 100:9.1f} %",
             f"  load imbalance    : {d['imbalance']:10.3f}",
+            f"  largest idle gap  : {d['max_idle_gap'] * 1e3:10.3f} ms",
+            f"  pool high-water   : {d['pool_high_water']:10d}",
         ]
         if self.faults_enabled:
             lines.append(

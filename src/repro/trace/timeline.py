@@ -143,11 +143,28 @@ class Timeline:
         A cell is busy if any execution overlaps it.  System-only cells
         render as '+', mixed cells as '#'.
         """
-        lo, hi = self.span()
-        if hi <= lo:
+        if not self._intervals:
             return "(empty timeline)"
+        lo, hi = self.span()
         num_pes = max(iv.pe for iv in self._intervals) + 1
         rows = pes if pes is not None else list(range(num_pes))
+        if hi <= lo:
+            # Degenerate span: every recorded execution is instantaneous and
+            # coincident (a run of pure zero-cost events).  Render a single
+            # column of marks at that instant rather than claiming the
+            # timeline is empty.
+            marks = {pe: "." for pe in rows}
+            for iv in self._intervals:
+                if iv.pe not in marks:
+                    continue
+                mark = "+" if iv.kind == "svc" else "#"
+                cur = marks[iv.pe]
+                marks[iv.pe] = "#" if (cur == "#" or mark == "#") else "+"
+            lines = [f"timeline {lo * 1e3:.3f} ms (zero span, "
+                     f"{len(self._intervals)} instantaneous executions)"]
+            for pe in rows:
+                lines.append(f"PE{pe:3d} |{marks[pe]}|")
+            return "\n".join(lines)
         cell = (hi - lo) / width
         grid = {pe: [" "] * width for pe in rows}
         for iv in self._intervals:

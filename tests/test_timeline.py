@@ -96,6 +96,36 @@ def test_interval_end_property():
     assert iv.end == 1.5
 
 
+def test_zero_span_single_event_render():
+    """Regression: a non-empty timeline whose only execution has zero
+    duration (span hi == lo) rendered as "(empty timeline)", hiding a
+    recorded run.  It must render an instantaneous mark instead."""
+    tl = Timeline()
+    tl._intervals.append(Interval(0, 2.5e-3, 0.0, "app", "tick"))
+    text = tl.render(width=40)
+    assert text != "(empty timeline)"
+    lines = text.splitlines()
+    assert "zero span" in lines[0]
+    assert "1 instantaneous executions" in lines[0]
+    pe0 = next(line for line in lines if line.startswith("PE  0"))
+    assert "#" in pe0
+
+
+def test_zero_span_multi_pe_render_marks_each_pe():
+    tl = Timeline()
+    tl._intervals.append(Interval(0, 1.0, 0.0, "svc", "probe"))
+    tl._intervals.append(Interval(2, 1.0, 0.0, "app", "work"))
+    lines = tl.render().splitlines()
+    assert len(lines) == 1 + 3  # header + PE0..PE2
+    marks = {line[:5].strip(): line.split("|")[1] for line in lines[1:]}
+    assert marks["PE  0"] == "+"   # svc-only cell
+    assert marks["PE  1"] == "."   # no activity
+    assert marks["PE  2"] == "#"   # app execution
+    # Analyses still behave on the degenerate span.
+    assert tl.utilization_profile(4) == [0.0] * 4
+    assert tl.largest_idle_gap(0) == 0.0
+
+
 def test_interval_ending_exactly_on_span_boundary():
     """An interval closing the span lands in the last bucket, fully counted."""
     tl = Timeline()
