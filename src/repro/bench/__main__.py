@@ -87,6 +87,13 @@ def main(argv=None) -> int:
         help="comma-separated event kinds to record (default: all); "
         "implies tracing even without --trace-out",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["heap", "batch"],
+        help="engine backend for every run (default: heap); non-default "
+        "backends become part of each run's cache key",
+    )
     args = parser.parse_args(argv)
     ids = sorted(EXPERIMENTS) if args.exp == "all" else [args.exp]
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -99,13 +106,15 @@ def main(argv=None) -> int:
                              trace_out=args.trace_out)
     from contextlib import ExitStack
 
-    from repro.bench.harness import use_tracing
+    from repro.bench.harness import use_backend, use_tracing
 
     with ExitStack() as stack:
         stack.enter_context(executor)
         stack.enter_context(use_executor(executor))
         if tracing:
             stack.enter_context(use_tracing(trace_kinds))
+        if args.backend is not None:
+            stack.enter_context(use_backend(args.backend))
         for exp_id in ids:
             result = run_experiment(exp_id, scale=args.scale)
             print(f"\n== {result.exp_id}: {result.title} ==")

@@ -10,11 +10,15 @@ Usage::
 
     python -m repro.bench.perf --label after-hot-path   # record an entry
     python -m repro.bench.perf --check                  # regression guard
+    python -m repro.bench.perf --backend batch ...      # batch-lane pass
 
 ``--check`` re-measures and fails (exit 1) if events/s or messages/s fall
 more than ``--tolerance`` (default 30%) below the most recent recorded
 entry carrying those metrics — the cheap CI guard against accidentally
-re-introducing per-event allocation in the hot path.
+re-introducing per-event allocation in the hot path.  ``--backend batch``
+measures the batch engine backend instead (``*_batch_*`` metric names);
+each entry records its backend in ``host`` and ``--check`` only baselines
+against same-backend entries.
 
 ``--exp-wall`` records the experiment-suite wall-clock family instead:
 ``exp_all_wall_s_serial`` (the historical one-process outer loop),
@@ -42,10 +46,13 @@ DEFAULT_PATH = "BENCH_sim_throughput.json"
 
 #: Metrics the --check guard enforces (others are informational).  The pool
 #: and search metrics guard the prioritized-execution hot path (packed keys,
-#: send-time normalization, lane-split pools).
+#: send-time normalization, lane-split pools); the ``*_batch_*`` metrics
+#: guard the batch-backend fast lane (timestamp-cohort draining) and only
+#: appear in entries recorded with ``--backend batch``.
 GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
                    "kernel_seeds_per_s", "pool_prio_ops_per_s",
-                   "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s")
+                   "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s",
+                   "engine_batch_events_per_s", "kernel_batch_seeds_per_s")
 
 
 # --------------------------------------------------------------- measurement
@@ -69,19 +76,18 @@ def _best_rate(fn: Callable[[], int], repeats: int = 5) -> float:
     return best
 
 
-def _engine_events() -> int:
-    from repro.sim.engine import Engine
+def _engine_events(backend: str = "heap") -> Callable[[], int]:
+    def run() -> int:
+        from repro.sim.backend import make_backend
 
-    eng = Engine()
-    schedule_call = getattr(eng, "schedule_call", None)
-    if schedule_call is not None:
+        eng = make_backend(backend)
+        schedule_call = eng.schedule_call
         for i in range(10_000):
             schedule_call(float(i % 97), _noop1, None)
-    else:  # pre-optimization engines: closure-per-event
-        for i in range(10_000):
-            eng.schedule(float(i % 97), _noop0)
-    eng.run()
-    return eng.events_fired
+        eng.run()
+        return eng.events_fired
+
+    return run
 
 
 def _noop0() -> None:
@@ -92,22 +98,26 @@ def _noop1(_arg) -> None:
     return None
 
 
-def _kernel_messages() -> int:
-    from repro import Kernel, make_machine
-    from repro.bench._workloads import PingPong
+def _kernel_messages(backend: str = "heap") -> Callable[[], int]:
+    def run() -> int:
+        from repro import Kernel, make_machine
+        from repro.bench._workloads import PingPong
 
-    kernel = Kernel(make_machine("ideal", 1))
-    rounds = 2_000
-    assert kernel.run(PingPong, rounds).result == rounds
-    return rounds
+        kernel = Kernel(make_machine("ideal", 1), backend=backend)
+        rounds = 2_000
+        assert kernel.run(PingPong, rounds).result == rounds
+        return rounds
+
+    return run
 
 
-def _seed_fanout(num_pes: int) -> Callable[[], int]:
+def _seed_fanout(num_pes: int, backend: str = "heap") -> Callable[[], int]:
     def run() -> int:
         from repro import Kernel, make_machine
         from repro.bench._workloads import Fanout
 
-        kernel = Kernel(make_machine("ideal", num_pes), balancer="random")
+        kernel = Kernel(make_machine("ideal", num_pes), balancer="random",
+                        backend=backend)
         seeds = 1_000
         assert kernel.run(Fanout, seeds).result == seeds
         return seeds
@@ -238,11 +248,33 @@ def _search_tsp_prio() -> int:
     return expanded
 
 
-def measure_throughput(repeats: int = 5) -> Dict[str, float]:
-    """Run every microbenchmark; returns {metric: ops_per_second}."""
+def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, float]:
+    """Run every microbenchmark; returns {metric: ops_per_second}.
+
+    ``backend="batch"`` re-measures the engine/kernel family on the batch
+    backend under ``*_batch_*`` metric names (the pool and search metrics
+    are backend-independent and only measured on the default pass).
+    """
+    if backend == "batch":
+        metrics = {
+            "engine_batch_events_per_s": _best_rate(
+                _engine_events("batch"), repeats
+            ),
+            "kernel_batch_msgs_per_s": _best_rate(
+                _kernel_messages("batch"), repeats
+            ),
+            "kernel_batch_seeds_per_s": _best_rate(
+                _seed_fanout(8, "batch"), repeats
+            ),
+        }
+        for pes in (1, 4, 32):
+            metrics[f"kernel_batch_seeds_per_s_p{pes}"] = _best_rate(
+                _seed_fanout(pes, "batch"), repeats
+            )
+        return metrics
     metrics = {
-        "engine_events_per_s": _best_rate(_engine_events, repeats),
-        "kernel_msgs_per_s": _best_rate(_kernel_messages, repeats),
+        "engine_events_per_s": _best_rate(_engine_events(), repeats),
+        "kernel_msgs_per_s": _best_rate(_kernel_messages(), repeats),
         "kernel_seeds_per_s": _best_rate(_seed_fanout(8), repeats),
     }
     for pes in (1, 4, 32):
@@ -271,20 +303,24 @@ def measure_throughput(repeats: int = 5) -> Dict[str, float]:
     return metrics
 
 
-def host_context() -> Dict[str, object]:
-    """CPU count and load average, recorded with every entry.
+def host_context(backend: str = "heap") -> Dict[str, object]:
+    """CPU count, load average and engine backend, recorded per entry.
 
     Wall-clock and throughput numbers are only comparable across entries
     when the host context is known — a 2x ``exp_all_wall_s`` swing between
     a 4-core laptop and a 64-core runner is machine skew, not a
     regression.  ``load_avg_1m`` is ``None`` where the platform has no
-    ``os.getloadavg`` (Windows).
+    ``os.getloadavg`` (Windows).  ``backend`` names the engine backend the
+    entry measured so ``--check``'s backward-scanning baseline never
+    compares heap numbers against batch numbers (entries predating the
+    field are heap by construction).
     """
     try:
         load_1m = round(os.getloadavg()[0], 3)
     except (AttributeError, OSError):
         load_1m = None
-    return {"cpu_count": os.cpu_count(), "load_avg_1m": load_1m}
+    return {"cpu_count": os.cpu_count(), "load_avg_1m": load_1m,
+            "backend": backend}
 
 
 # ------------------------------------------------- experiment-suite wall time
@@ -341,14 +377,16 @@ def _load(path: str) -> dict:
 
 
 def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5,
-           metrics: Dict[str, float] | None = None) -> dict:
+           metrics: Dict[str, float] | None = None,
+           backend: str = "heap") -> dict:
     """Measure (or take ``metrics``) and append one entry; returns the entry."""
     entry = {
         "label": label or "unlabelled",
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
-        "host": host_context(),
-        "metrics": measure_throughput(repeats) if metrics is None else metrics,
+        "host": host_context(backend),
+        "metrics": (measure_throughput(repeats, backend)
+                    if metrics is None else metrics),
     }
     data = _load(path)
     data["entries"].append(entry)
@@ -358,36 +396,47 @@ def record(path: str = DEFAULT_PATH, label: str = "", repeats: int = 5,
     return entry
 
 
-def _guard_baseline(entries: list) -> dict | None:
-    """Latest entry carrying any guarded metric.
+def _entry_backend(entry: dict) -> str:
+    """Engine backend an entry measured (pre-backend entries are heap)."""
+    return entry.get("host", {}).get("backend") or "heap"
+
+
+def _guard_baseline(entries: list, backend: str = "heap") -> dict | None:
+    """Latest *same-backend* entry carrying any guarded metric.
 
     Entries recorded by ``--exp-wall`` (wall-clock family only) and
     pre-PR-3 entries missing ``host`` context must not silently disable
     the hot-path guard, so the scan walks backwards to the newest entry
-    that actually measured a guarded metric.
+    that actually measured a guarded metric.  Entries from a different
+    engine backend are skipped — a batch entry's 3x events/s must never
+    become the bar the heap path is judged against (or vice versa).
     """
     for entry in reversed(entries):
+        if _entry_backend(entry) != backend:
+            continue
         if any(name in entry.get("metrics", {}) for name in GUARDED_METRICS):
             return entry
     return None
 
 
 def check(path: str = DEFAULT_PATH, tolerance: float = 0.30,
-          repeats: int = 3) -> bool:
+          repeats: int = 3, backend: str = "heap") -> bool:
     """Re-measure the guarded metrics; True iff none regressed past tolerance."""
     data = _load(path)
-    baseline = _guard_baseline(data["entries"])
+    baseline = _guard_baseline(data["entries"], backend)
     if baseline is None:
-        print(f"no guarded baseline entries in {path}; nothing to check")
+        print(f"no guarded {backend}-backend baseline entries in {path}; "
+              "nothing to check")
         return True
-    current = measure_throughput(repeats)
+    current = measure_throughput(repeats, backend)
     ok = True
-    print(f"perf guard vs {baseline['label']!r} ({baseline['timestamp']}):")
+    print(f"perf guard ({backend}) vs {baseline['label']!r} "
+          f"({baseline['timestamp']}):")
     for name in GUARDED_METRICS:
         base = baseline["metrics"].get(name)
-        if base is None:
+        now = current.get(name)
+        if base is None or now is None:
             continue
-        now = current[name]
         ratio = now / base
         flag = "ok" if ratio >= 1.0 - tolerance else "REGRESSION"
         print(f"  {name}: {now:,.0f}/s vs {base:,.0f}/s "
@@ -416,9 +465,14 @@ def main(argv=None) -> int:
     ap.add_argument("--exp-jobs", type=int, default=None,
                     help="worker count for the parallel --exp-wall pass "
                     "(default: os.cpu_count())")
+    ap.add_argument("--backend", default="heap", choices=["heap", "batch"],
+                    help="engine backend to measure/check (default: heap); "
+                    "batch entries use *_batch_* metric names and are "
+                    "baselined only against other batch entries")
     args = ap.parse_args(argv)
     if args.check:
-        return 0 if check(args.output, args.tolerance) else 1
+        return 0 if check(args.output, args.tolerance,
+                          backend=args.backend) else 1
     if args.exp_wall:
         metrics = measure_exp_wall(scale=args.exp_scale, jobs=args.exp_jobs)
         label = args.label or f"exp-wall ({args.exp_scale})"
@@ -428,7 +482,8 @@ def main(argv=None) -> int:
             unit = "" if name.endswith(("_rate", "_jobs")) else "s"
             print(f"  {name}: {value:,.2f}{unit}")
         return 0
-    entry = record(args.output, args.label, args.repeats)
+    entry = record(args.output, args.label, args.repeats,
+                   backend=args.backend)
     print(f"recorded {entry['label']!r} -> {args.output}")
     for name, value in entry["metrics"].items():
         print(f"  {name}: {value:,.0f}/s")

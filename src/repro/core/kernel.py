@@ -107,8 +107,9 @@ class Kernel:
         timeline: bool = False,
         faults: Any = None,
         trace_events: Any = None,
+        backend: Optional[str] = None,
     ) -> None:
-        from repro.sim.engine import Engine  # local import: keep core light
+        from repro.sim.backend import make_backend  # local: keep core light
         from repro.balance import make_balancer
         from repro.balance.base import Balancer
         from repro.sharing.manager import SharingService
@@ -129,10 +130,14 @@ class Kernel:
         self._work_unit_time = (
             None if machine.pe_speeds else machine.params.work_unit_time
         )
-        # Pre-bound machine methods used once per remote message.
-        self._hops = machine.hops
+        # Pre-bound machine methods used once per remote message.  hops_fn
+        # is the topology's closed form where one exists (no O(P²) memo).
+        self._hops = machine.hops_fn
         self._transit_time = machine.transit_time
-        self.engine = Engine()
+        # Engine backend: explicit argument wins, then the machine's pinned
+        # preference, then the default heap path.
+        self.backend_name = backend or machine.backend or "heap"
+        self.engine = make_backend(self.backend_name)
         # Per-kernel envelope uid allocation (reproducible run-to-run and
         # unaffected by other kernels in the same process).
         self._next_uid = 1
@@ -197,6 +202,14 @@ class Kernel:
             faults.bind(self)
             self.faults = faults
         self._faults = self.faults
+        # Outbox burst lane: only the batch backend profits from grouped
+        # bulk scheduling, and the fault/tracing hooks need per-envelope
+        # control, so the lane is enabled once per run, not per flush.
+        self._burst_ok = (
+            self.backend_name == "batch"
+            and self._faults is None
+            and self._events is None
+        )
         # Quiescence accounting (counted messages only).
         self.counted_sent: List[int] = [0] * machine.num_pes
         self.counted_processed: List[int] = [0] * machine.num_pes
@@ -304,24 +317,20 @@ class Kernel:
         t0 = _host_time.perf_counter()
         self.engine.schedule_call(0.0, self._bootstrap, (main_cls, args))
 
-        truncated = False
-        fired = 0
-        step = self.engine.step
-        if until is None and max_events is not None:
-            # Common case: budget only — two fewer checks per event.
-            while not self._exited:
-                if fired >= max_events:
-                    truncated = True
-                    break
-                if not step():
-                    break
-                fired += 1
+        if until is None:
+            # Common case: the backend's bulk drive() loop owns the
+            # budget/stop checks (one compare each, and the batch backend
+            # drains whole timestamp cohorts without surfacing per event).
+            _, truncated = self.engine.drive(max_events)
         else:
+            truncated = False
+            fired = 0
+            step = self.engine.step
             while not self._exited:
                 if max_events is not None and fired >= max_events:
                     truncated = True
                     break
-                if until is not None and self.now >= until:
+                if self.now >= until:
                     truncated = True
                     break
                 if not step():
@@ -429,6 +438,77 @@ class Kernel:
             self._schedule_call(departure + transit, self._arrive_cb, env)
         else:
             faults.transmit(env, departure, departure + transit)
+
+    def _flush_outbox_burst(
+        self,
+        outbox: List[Tuple[float, Envelope]],
+        start: float,
+        duration: float,
+        base: float,
+        wut: float,
+    ) -> None:
+        """Batch-lane outbox flush: one pass, grouped bulk scheduling.
+
+        Semantics are exactly :meth:`_deliver` per envelope in outbox
+        order — same float expressions, same counter updates, same uid
+        sequence, same bus/link mutation order — with the per-envelope
+        call frames and attribute walks hoisted out of the loop, and
+        *consecutive* equal arrival times handed to the engine as a single
+        ``schedule_calls`` cohort extend (consecutive-only grouping keeps
+        bucket append order identical to the scalar path's, which is what
+        the bit-identity guarantee rests on).  The scalar loop remains the
+        fallback whenever fault injection or event tracing needs
+        per-envelope control, or the machine is heterogeneous.
+        """
+        pes = self.pes
+        counted_sent = self.counted_sent
+        next_uid = self._next_uid
+        hops = self._hops
+        transit_time = self._transit_time
+        local_alpha = self._local_alpha
+        schedule_calls = self.engine.schedule_calls
+        arrive = self._arrive_cb
+        hops_total = 0
+        last_src = -1
+        src = None
+        carried = 0
+        group: List[Envelope] = []
+        group_time = -1.0
+        for charged_at_send, env in outbox:
+            departure = start + min(base + charged_at_send * wut, duration)
+            src_pe = env.src_pe
+            if src_pe != last_src:
+                src = pes[src_pe]
+                carried = src._app_queued + 1 if src.busy else src._app_queued
+                last_src = src_pe
+            env.carried_load = carried
+            src.msgs_sent += 1
+            nbytes = env.nbytes
+            src.bytes_sent += nbytes
+            if env.uid is None:
+                env.uid = next_uid
+                next_uid += 1
+            if env.counted and not env.suppress_sent_count:
+                counted_sent[src_pe] += 1
+            dst_pe = env.dst_pe
+            if src_pe == dst_pe:
+                arrival = departure + local_alpha
+            else:
+                hops_total += hops(src_pe, dst_pe)
+                arrival = departure + transit_time(
+                    src_pe, dst_pe, nbytes, departure
+                )
+            if arrival == group_time:
+                group.append(env)
+            else:
+                if group:
+                    schedule_calls(group_time, arrive, group)
+                group = [env]
+                group_time = arrival
+        if group:
+            schedule_calls(group_time, arrive, group)
+        self._next_uid = next_uid
+        self.total_message_hops += hops_total
 
     def _arrive(self, env: Envelope) -> None:
         """An envelope reached its destination PE's pool."""
@@ -622,14 +702,17 @@ class Kernel:
         if self.timeline is not None:
             self.timeline.record(pe.index, start, duration, env)
         if outbox:
-            for charged_at_send, out in outbox:
-                if wut is not None:
-                    offset = base + charged_at_send * wut
-                else:
-                    offset = base + self.machine.compute_time(
-                        charged_at_send, pe.index
-                    )
-                self._deliver(out, start + min(offset, duration))
+            if len(outbox) >= 4 and self._burst_ok and wut is not None:
+                self._flush_outbox_burst(outbox, start, duration, base, wut)
+            else:
+                for charged_at_send, out in outbox:
+                    if wut is not None:
+                        offset = base + charged_at_send * wut
+                    else:
+                        offset = base + self.machine.compute_time(
+                            charged_at_send, pe.index
+                        )
+                    self._deliver(out, start + min(offset, duration))
             outbox.clear()
         pe.busy_until = busy_until = start + duration
         if events is not None:
@@ -641,6 +724,7 @@ class Kernel:
         if self._exit_requested and not self._exited:
             self._exited = True
             self._final_time = busy_until
+            self.engine.request_stop()
             return
         self._schedule_call(busy_until, self._finish_cb, pe)
 

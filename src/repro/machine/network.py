@@ -93,16 +93,31 @@ class Machine:
     topology: Topology
     params: MachineParams = field(default_factory=MachineParams)
     pe_speeds: tuple = ()
+    #: Preferred engine backend ("" = caller's default).  Carried on the
+    #: machine so presets/descriptors can pin a backend and the kernel
+    #: resolves it without extra plumbing.
+    backend: str = ""
 
     # Mutable per-run state: shared-bus occupancy and per-link occupancy.
     _bus_free_at: float = field(default=0.0, repr=False)
     _link_free_at: dict = field(default_factory=dict, repr=False)
-    # Memoized network costs (topologies are static, so these survive
-    # reset()): hop counts per (src, dst) pair, and the uncontended
-    # ``max(0, hops-1) * per_hop`` latency term per pair, so the common
-    # no-contention transit is a dict lookup plus one multiply-add.
+    # Memoized network costs for *table-free* topologies only (trees):
+    # hop counts per (src, dst) pair, and the uncontended
+    # ``max(0, hops-1) * per_hop`` latency term per pair.  Families with a
+    # closed-form metric (bus, ring, mesh, torus, hypercube) skip these
+    # dicts entirely — O(P²) tables are unusable at the roadmap's 10⁵-PE
+    # machines.
     _hops_table: dict = field(default_factory=dict, repr=False)
     _hop_extra: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # hops_fn is the hot-path hop counter the kernel binds once per
+        # run: the topology's unchecked closed form where one exists, the
+        # per-pair memo otherwise.  Not a dataclass field (bound methods
+        # don't belong in repr/eq), but picklable either way.
+        cf = self.topology.closed_form_hops()
+        self._hops_closed = cf
+        self.hops_fn = cf if cf is not None else self._memo_hops
 
     @property
     def num_pes(self) -> int:
@@ -114,6 +129,10 @@ class Machine:
         self._link_free_at = {}
 
     def hops(self, src: int, dst: int) -> int:
+        """Hop count via the closed form, or the memo for table-free shapes."""
+        return self.hops_fn(src, dst)
+
+    def _memo_hops(self, src: int, dst: int) -> int:
         """Memoized :meth:`Topology.hops` (built lazily, keyed per pair)."""
         key = (src, dst)
         cached = self._hops_table.get(key)
@@ -144,13 +163,17 @@ class Machine:
             route = self.topology.route(src, dst)
             if route is not None:
                 return self._contended_transit(route, nbytes, depart)
-        key = (src, dst)
-        hop_extra = self._hop_extra.get(key)
-        if hop_extra is None:
-            # Same float expression as the unmemoized form: the sum below
-            # associates identically to alpha + nbytes*beta + max(...)*per_hop.
-            hop_extra = max(0, self.hops(src, dst) - 1) * p.per_hop
-            self._hop_extra[key] = hop_extra
+        cf = self._hops_closed
+        if cf is not None:
+            # Same float expression as the memoized branch below, so
+            # switching a family to closed form never perturbs a bit.
+            hop_extra = max(0, cf(src, dst) - 1) * p.per_hop
+        else:
+            key = (src, dst)
+            hop_extra = self._hop_extra.get(key)
+            if hop_extra is None:
+                hop_extra = max(0, self.hops_fn(src, dst) - 1) * p.per_hop
+                self._hop_extra[key] = hop_extra
         latency = p.alpha + nbytes * p.beta + hop_extra
         if p.bus_bandwidth > 0.0:
             occupy = nbytes / p.bus_bandwidth
@@ -170,11 +193,15 @@ class Machine:
         p = self.params
         if src == dst:
             return p.local_alpha
-        key = (src, dst)
-        hop_extra = self._hop_extra.get(key)
-        if hop_extra is None:
-            hop_extra = max(0, self.hops(src, dst) - 1) * p.per_hop
-            self._hop_extra[key] = hop_extra
+        cf = self._hops_closed
+        if cf is not None:
+            hop_extra = max(0, cf(src, dst) - 1) * p.per_hop
+        else:
+            key = (src, dst)
+            hop_extra = self._hop_extra.get(key)
+            if hop_extra is None:
+                hop_extra = max(0, self.hops_fn(src, dst) - 1) * p.per_hop
+                self._hop_extra[key] = hop_extra
         return p.alpha + nbytes * p.beta + hop_extra
 
     def _contended_transit(self, route, nbytes: int, depart: float) -> float:

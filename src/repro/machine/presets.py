@@ -204,12 +204,21 @@ MACHINE_PRESETS: Dict[str, Callable[[int], Machine]] = {
 }
 
 
-def make_machine(name: str, num_pes: int) -> Machine:
-    """Build a preset machine by name."""
+def make_machine(name: str, num_pes: int, backend: str = "") -> Machine:
+    """Build a preset machine by name.
+
+    ``backend`` optionally pins an engine backend (``"heap"`` or
+    ``"batch"``) on the machine; the kernel picks it up unless the caller
+    passes an explicit ``backend=`` of its own.  Empty string (default)
+    leaves the choice to the kernel.
+    """
     try:
         factory = MACHINE_PRESETS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown machine preset {name!r}; options: {sorted(MACHINE_PRESETS)}"
         ) from None
-    return factory(num_pes)
+    machine = factory(num_pes)
+    if backend:
+        machine.backend = backend
+    return machine

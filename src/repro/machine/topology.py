@@ -20,7 +20,7 @@ Implemented families (the 1991 machines plus standard extras):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.util.errors import TopologyError
 
@@ -68,8 +68,27 @@ class Topology(ABC):
         """
         return None
 
+    def closed_form_hops(self) -> Optional[Callable[[int, int], int]]:
+        """An O(1) *unchecked* hops function, or None.
+
+        When a family's metric reduces to arithmetic (popcount, coordinate
+        distance), this returns a bound method computing it with no range
+        checks and no memo table — the per-pair dict the cost model would
+        otherwise build is O(P²) and unusable at the roadmap's 10⁵-PE
+        machines.  A bound method (not a lambda/closure) so machines that
+        hold it stay picklable for the parallel sweep executor.  ``None``
+        means the metric genuinely needs a walk (trees); callers keep the
+        memoized table for those.
+        """
+        return None
+
     def diameter(self) -> int:
-        """Maximum hop distance over all pairs (brute force; small machines)."""
+        """Maximum hop distance over all pairs.
+
+        Base implementation is the O(P²) brute-force scan; every concrete
+        family overrides it with a closed form (tested equivalent at small
+        P) so it stays usable at P=100k.
+        """
         return max(
             self.hops(i, j) for i in range(self.num_pes) for j in range(self.num_pes)
         )
@@ -87,6 +106,15 @@ class BusTopology(Topology):
         self._check(src)
         self._check(dst)
         return 0 if src == dst else 1
+
+    def _cf_hops(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 1
+
+    def closed_form_hops(self) -> Callable[[int, int], int]:
+        return self._cf_hops
+
+    def diameter(self) -> int:
+        return 0 if self.num_pes == 1 else 1
 
     def neighbors(self, pe: int) -> List[int]:
         self._check(pe)
@@ -124,6 +152,16 @@ class RingTopology(Topology):
         self._check(dst)
         d = abs(src - dst)
         return min(d, self.num_pes - d)
+
+    def _cf_hops(self, src: int, dst: int) -> int:
+        d = abs(src - dst)
+        return min(d, self.num_pes - d)
+
+    def closed_form_hops(self) -> Callable[[int, int], int]:
+        return self._cf_hops
+
+    def diameter(self) -> int:
+        return self.num_pes // 2
 
     def neighbors(self, pe: int) -> List[int]:
         self._check(pe)
@@ -165,6 +203,18 @@ class Mesh2DTopology(Topology):
         r1, c1 = self._rc(src)
         r2, c2 = self._rc(dst)
         return abs(r1 - r2) + abs(c1 - c2)
+
+    def _cf_hops(self, src: int, dst: int) -> int:
+        cols = self.cols
+        r1, c1 = divmod(src, cols)
+        r2, c2 = divmod(dst, cols)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def closed_form_hops(self) -> Callable[[int, int], int]:
+        return self._cf_hops
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
 
     def neighbors(self, pe: int) -> List[int]:
         self._check(pe)
@@ -214,6 +264,17 @@ class Torus2DTopology(Mesh2DTopology):
         dr = abs(r1 - r2)
         dc = abs(c1 - c2)
         return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def _cf_hops(self, src: int, dst: int) -> int:
+        cols = self.cols
+        r1, c1 = divmod(src, cols)
+        r2, c2 = divmod(dst, cols)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr) + min(dc, cols - dc)
+
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2
 
     def neighbors(self, pe: int) -> List[int]:
         self._check(pe)
@@ -268,6 +329,15 @@ class HypercubeTopology(Topology):
         self._check(src)
         self._check(dst)
         return (src ^ dst).bit_count()
+
+    def _cf_hops(self, src: int, dst: int) -> int:
+        return (src ^ dst).bit_count()
+
+    def closed_form_hops(self) -> Callable[[int, int], int]:
+        return self._cf_hops
+
+    def diameter(self) -> int:
+        return self.dimension if self.num_pes > 1 else 0
 
     def neighbors(self, pe: int) -> List[int]:
         self._check(pe)
@@ -337,6 +407,33 @@ class TreeTopology(Topology):
         if p is not None:
             out.append(p)
         return sorted(out)
+
+    def diameter(self) -> int:
+        """O(log n) closed form.
+
+        Level-order numbering fills each level left to right, so the last
+        node ``n-1`` is a deepest node (depth D).  The diameter pairs a
+        depth-D node with the deepest node in a *different* root subtree:
+        2D when depth D reaches past the root's first subtree (some
+        depth-D node lives under child 2), else 2D-1 (the other subtrees
+        stop at depth D-1, which is fully populated whenever depth D
+        exists beyond n=1).
+        """
+        n = self.num_pes
+        if n == 1:
+            return 0
+        if n == 2:
+            return 1
+        depth = 0
+        node = n - 1
+        while node != 0:
+            node = (node - 1) // self.arity
+            depth += 1
+        # Leftmost descendant of root child 2 at depth ``depth``.
+        node = 2
+        for _ in range(depth - 1):
+            node = node * self.arity + 1
+        return 2 * depth if node < n else 2 * depth - 1
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
         """Up to the lowest common ancestor, then down."""

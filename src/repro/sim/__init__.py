@@ -3,8 +3,29 @@
 The engine is deliberately tiny and generic: a binary heap of timestamped
 callbacks with deterministic tie-breaking.  Everything Charm-specific lives
 above it in :mod:`repro.core`.
+
+:mod:`repro.sim.backend` provides the pluggable event-loop backends the
+kernel selects between: the default :class:`HeapBackend` and the
+timestamp-cohort :class:`BatchBackend` fast lane.
 """
 
+from repro.sim.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    BatchBackend,
+    BatchEvent,
+    HeapBackend,
+    make_backend,
+)
 from repro.sim.engine import Engine, Event
 
-__all__ = ["Engine", "Event"]
+__all__ = [
+    "Engine",
+    "Event",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BatchBackend",
+    "BatchEvent",
+    "HeapBackend",
+    "make_backend",
+]

@@ -86,8 +86,8 @@ CASES = [
 ]
 
 
-def _run_case(runner: str, spec: dict):
-    machine = make_machine(spec["machine"], spec["pes"])
+def _run_case(runner: str, spec: dict, backend: str = "heap"):
+    machine = make_machine(spec["machine"], spec["pes"], backend=backend)
     common = dict(balancer=spec["balancer"], queueing=spec["queueing"],
                   seed=spec["seed"])
     if runner == "queens":
@@ -135,15 +135,19 @@ def _load_fixtures() -> dict:
         return json.load(fh)
 
 
+@pytest.mark.parametrize("backend", ["heap", "batch"])
 @pytest.mark.parametrize("case_id,runner,spec",
                          CASES, ids=[c[0] for c in CASES])
-def test_golden_trace(case_id, runner, spec):
+def test_golden_trace(case_id, runner, spec, backend):
+    # Both engine backends are pinned against the SAME fixtures: the batch
+    # backend's cohort draining must reproduce the heap's (time, seq) order
+    # bit for bit, so there is exactly one golden truth per case.
     fixtures = _load_fixtures()
     assert case_id in fixtures, (
         f"no golden fixture for {case_id}; regenerate with "
         f"PYTHONPATH=src python tests/test_golden_trace.py --regen"
     )
-    answer, result = _run_case(runner, spec)
+    answer, result = _run_case(runner, spec, backend)
     assert _fingerprint(answer, result) == fixtures[case_id]
 
 

@@ -148,6 +148,74 @@ def test_property_hypercube_triangle_inequality(dim, data):
     assert topo.hops(i, k) <= topo.hops(i, j) + topo.hops(j, k)
 
 
+# ------------------------------------------------- closed forms (PR 6)
+@pytest.mark.parametrize("name,kwargs", ALL)
+def test_closed_form_hops_match_checked_hops(name, kwargs):
+    """closed_form_hops (unchecked fast path) must equal Topology.hops."""
+    for n in _sizes_for(name):
+        topo = make_topology(name, n, **kwargs)
+        cf = topo.closed_form_hops()
+        if name == "tree":
+            assert cf is None  # trees keep the memoized table path
+            continue
+        assert cf is not None
+        for i in range(n):
+            for j in range(n):
+                assert cf(i, j) == topo.hops(i, j), (name, n, i, j)
+
+
+@pytest.mark.parametrize("name,kwargs", ALL)
+def test_closed_form_diameter_matches_brute_force(name, kwargs):
+    """Per-family diameter() must equal the all-pairs max over hops."""
+    for n in _sizes_for(name):
+        topo = make_topology(name, n, **kwargs)
+        brute = max(
+            (topo.hops(i, j) for i in range(n) for j in range(n)),
+            default=0,
+        )
+        assert topo.diameter() == brute, (name, n)
+
+
+@pytest.mark.parametrize("n", list(range(1, 64)) + [100, 121, 341])
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def test_tree_diameter_closed_form_vs_brute_force(n, arity):
+    topo = TreeTopology(n, arity=arity)
+    brute = max(
+        (topo.hops(i, j) for i in range(n) for j in range(n)),
+        default=0,
+    )
+    assert topo.diameter() == brute, (n, arity)
+
+
+def test_diameter_is_constant_time_at_100k_pes():
+    """No O(P^2) tables: diameter and hops at P=100k finish instantly."""
+    big = 100_000
+    cases = [
+        RingTopology(big),
+        Mesh2DTopology(big, rows=250, cols=400),
+        Torus2DTopology(big, rows=250, cols=400),
+        HypercubeTopology(2**17),
+        BusTopology(big),
+        TreeTopology(big, arity=2),
+    ]
+    expected = {
+        "ring": big // 2,
+        "mesh2d": 249 + 399,
+        "torus2d": 125 + 200,
+        "hypercube": 17,
+        "bus": 1,
+    }
+    for topo in cases:
+        d = topo.diameter()
+        if topo.name in expected:
+            assert d == expected[topo.name]
+        else:  # tree of 100k nodes: 2*depth or 2*depth-1
+            assert d in (2 * 16, 2 * 16 - 1)
+        cf = topo.closed_form_hops()
+        if cf is not None:
+            assert cf(0, topo.num_pes - 1) == topo.hops(0, topo.num_pes - 1)
+
+
 @given(st.integers(min_value=2, max_value=30), st.data())
 def test_property_ring_triangle_inequality(n, data):
     topo = RingTopology(n)
