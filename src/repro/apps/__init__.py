@@ -27,6 +27,8 @@ Each module provides:
               exchange plus data-dependent particle migration
   lu          pipelined dense LU factorization — overlapping pivot-row
               broadcasts (dataflow pipelining)
+  serving     open-loop request farm — timed arrival injection, balancer
+              placement, admission control, trace-derived tail latency
   ==========  ===========================================================
 
 * a ``run_<name>(machine, **params) -> (answer, RunResult)`` driver used by
@@ -47,6 +49,7 @@ from repro.apps.sor import sor_seq, run_sor
 from repro.apps.samplesort import run_samplesort
 from repro.apps.md import MdParams, md_seq, run_md
 from repro.apps.lu import lu_seq, run_lu
+from repro.apps.serving import run_serving
 
 __all__ = [
     "nqueens_seq",
@@ -79,4 +82,5 @@ __all__ = [
     "run_md",
     "lu_seq",
     "run_lu",
+    "run_serving",
 ]

@@ -1,0 +1,168 @@
+"""Open-loop request-serving workload: a chare server farm under live load.
+
+The paper's applications are closed-world batch programs; this app is the
+ROADMAP's "millions of users" scenario in miniature — an **open-loop**
+source injects request chares at externally-determined virtual times
+(:mod:`repro.workloads.arrivals`) and the farm either keeps up or melts
+down; the source never waits.
+
+Structure:
+
+* ``ServingMain`` (PE 0) is both load generator and collector.  It walks a
+  precomputed arrival-time list with timed self-messages
+  (:meth:`repro.core.chare.Chare.send_at` — one ``tick`` per request, each
+  scheduling the next), so generation costs one small execution per
+  arrival and the stream is identical on every backend and job count.
+* Each ``tick`` creates a ``Request`` chare **seed with no fixed PE** —
+  placement goes through whichever load balancer the kernel was built
+  with (random / central manager / ACWN / token), which is exactly the
+  knob the S-series experiments turn.
+* ``Request`` charges its sampled service demand and either creates the
+  next pipeline stage (multi-hop requests, again balancer-placed) or
+  reports ``done`` to the collector.  With admission control enabled, a
+  stage-0 request landing on a PE whose load exceeds the bound is *shed*:
+  it pays a small triage cost and reports ``shed`` instead of serving.
+* The run exits when every offered request is accounted for — no
+  quiescence detection needed, and per-request latency is reconstructed
+  afterwards from the causal event log by
+  :mod:`repro.metrics.latency` (no kernel-side latency hooks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.core.chare import Chare, entry
+from repro.core.kernel import Kernel, RunResult
+from repro.machine.network import Machine
+from repro.metrics.latency import latency_summary
+from repro.workloads.arrivals import (
+    ArrivalSpec,
+    Poisson,
+    ServiceSpec,
+    arrival_times,
+    service_demands,
+)
+
+__all__ = ["run_serving", "SERVING_TRACE_KINDS", "TRIAGE_WORK"]
+
+#: Event kinds the latency analyzer needs; installed by default on every
+#: serving run (callers may override via ``trace_events=``).
+SERVING_TRACE_KINDS = ("deliver", "exec_begin", "exec_end", "send")
+
+#: Work units charged for inspecting-and-rejecting a shed request.
+TRIAGE_WORK = 5.0
+
+
+class Request(Chare):
+    """One request (or one pipeline stage of one): charge demand, hand off."""
+
+    def __init__(self, rid: int, stage: int, demands: Tuple[float, ...]):
+        shed_above = self.readonly("serving_admission")
+        if stage == 0 and shed_above is not None and self.local_load > shed_above:
+            # Admission control: the queue here is already deeper than the
+            # bound, so turn the request away after a token triage cost.
+            self.charge(TRIAGE_WORK)
+            self.send(self.mainhandle, "shed", rid)
+            self.destroy()
+            return
+        self.charge(demands[stage])
+        if stage + 1 < len(demands):
+            # Next pipeline stage: a fresh balancer-placed seed, so one
+            # request can traverse several PEs of the farm.
+            self.create(Request, rid, stage + 1, demands)
+        else:
+            self.send(self.mainhandle, "done", rid)
+        self.destroy()
+
+
+class ServingMain(Chare):
+    """Load generator + collector (the farm's 'front end', on PE 0)."""
+
+    def __init__(
+        self,
+        arrivals: Sequence[float],
+        demands: Sequence[Tuple[float, ...]],
+        shed_above: Optional[int],
+    ):
+        self.set_readonly("serving_admission", shed_above)
+        self.arrivals = arrivals
+        self.demands = demands
+        self.n = len(arrivals)
+        self.n_done = 0
+        self.n_shed = 0
+        if self.n == 0:
+            self.exit((0, 0))
+            return
+        self.send_at(arrivals[0], self.thishandle, "tick", 0)
+
+    @entry
+    def tick(self, i: int) -> None:
+        self.create(Request, i, 0, self.demands[i])
+        if i + 1 < self.n:
+            self.send_at(self.arrivals[i + 1], self.thishandle, "tick", i + 1)
+
+    @entry
+    def done(self, rid: int) -> None:
+        self.n_done += 1
+        self._account()
+
+    @entry
+    def shed(self, rid: int) -> None:
+        self.n_shed += 1
+        self._account()
+
+    def _account(self) -> None:
+        if self.n_done + self.n_shed == self.n:
+            self.exit((self.n_done, self.n_shed))
+
+
+def run_serving(
+    machine: Machine,
+    arrivals: ArrivalSpec = Poisson(rate=2000.0, count=200),
+    service: ServiceSpec = ServiceSpec(),
+    hops: int = 1,
+    shed_above: Optional[int] = None,
+    *,
+    queueing: str = "fifo",
+    balancer: str = "random",
+    seed: int = 0,
+    **kernel_kwargs,
+) -> Tuple[Dict[str, Any], RunResult]:
+    """Serve one open-loop request stream; returns ``(summary, RunResult)``.
+
+    The summary dict carries the offered/completed/shed counts plus the
+    end-to-end latency digest (nearest-rank p50/p95/p99, mean/min/max, and
+    the queue-wait / service / transit split) reconstructed from the run's
+    event log.  All values are plain scalars, so the answer is picklable
+    and cache-stable.  If the caller overrides ``trace_events`` with kinds
+    the analyzer cannot use, the latency fields degrade to ``None`` while
+    the counts (tracked in-app) stay exact.
+    """
+    times = arrival_times(arrivals, seed)
+    demands = service_demands(service, len(times), hops, seed)
+    default_trace = "trace_events" not in kernel_kwargs
+    if default_trace:
+        kernel_kwargs["trace_events"] = SERVING_TRACE_KINDS
+    kernel = Kernel(machine, queueing=queueing, balancer=balancer, seed=seed,
+                    **kernel_kwargs)
+    result = kernel.run(ServingMain, tuple(times), tuple(demands), shed_above)
+    n_done, n_shed = result.result
+    log = kernel.events
+    digest = latency_summary(log.as_records()) if log is not None else \
+        latency_summary(())
+    if default_trace and (digest["completed"], digest["shed"]) != (n_done, n_shed):
+        raise AssertionError(
+            "latency analyzer disagrees with the collector: "
+            f"trace saw {digest['completed']}/{digest['shed']} "
+            f"done/shed, app counted {n_done}/{n_shed}"
+        )
+    summary: Dict[str, Any] = {
+        "offered": len(times),
+        "completed": n_done,
+        "shed": n_shed,
+    }
+    for key, value in digest.items():
+        if key not in ("requests", "completed", "shed"):
+            summary[key] = value
+    return summary, result

@@ -686,6 +686,15 @@ def _ablation(name: str) -> Callable[..., ExperimentResult]:
     return runner
 
 
+def _serving(name: str) -> Callable[..., ExperimentResult]:
+    def runner(scale: str = "paper") -> ExperimentResult:
+        from repro.bench import serving
+
+        return getattr(serving, name)(scale=scale)
+
+    return runner
+
+
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "a1": _ablation("exp_a1"),
     "a2": _ablation("exp_a2"),
@@ -707,6 +716,10 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "f3": exp_f3,
     "r1": exp_r1,
     "r2": exp_r2,
+    "s1": _serving("exp_s1"),
+    "s2": _serving("exp_s2"),
+    "s3": _serving("exp_s3"),
+    "s4": _serving("exp_s4"),
 }
 
 

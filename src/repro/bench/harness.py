@@ -35,11 +35,13 @@ from repro.apps import (
     run_primes,
     run_puzzle,
     run_samplesort,
+    run_serving,
     run_sor,
     run_tree,
     run_tsp,
 )
 from repro.bench.descriptors import RunDescriptor
+from repro.workloads.arrivals import Poisson, ServiceSpec
 from repro.core.kernel import RunResult
 from repro.machine.presets import make_machine
 from repro.util.errors import ConfigurationError
@@ -107,6 +109,14 @@ APPS: Dict[str, AppSpec] = {
         uses_balancer=False,
     ),
     "lu": AppSpec("lu", run_lu, {"n": 64, "blocks": 16}, uses_balancer=False),
+    "serving": AppSpec(
+        "serving",
+        run_serving,
+        {"arrivals": Poisson(rate=2000.0, count=160), "service": ServiceSpec()},
+        # Latency depends on P and placement by design; only the offered
+        # count is configuration-invariant.
+        canon=lambda a: (a["offered"],),
+    ),
 }
 
 

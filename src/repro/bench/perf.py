@@ -248,6 +248,27 @@ def _search_tsp_prio() -> int:
     return expanded
 
 
+def _serving_requests() -> int:
+    """End-to-end request serving: requests served per host second.
+
+    Exercises the open-loop arrival path (timed sends), per-request
+    tracing with the minimal serving kind set, and the trace-walking
+    latency analyzer — the full S-series stack.  Informational only: the
+    trace-analysis share makes it noisier than the guarded kernel
+    metrics, so it is deliberately NOT in GUARDED_METRICS.
+    """
+    from repro import make_machine
+    from repro.apps.serving import run_serving
+    from repro.workloads.arrivals import Poisson
+
+    ans, _ = run_serving(
+        make_machine("ncube2", 8),
+        arrivals=Poisson(rate=4000.0, count=400),
+        balancer="central",
+    )
+    return ans["completed"]
+
+
 def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, float]:
     """Run every microbenchmark; returns {metric: ops_per_second}.
 
@@ -299,6 +320,9 @@ def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, flo
     )
     metrics["search_tsp_prio_nodes_per_s"] = _best_rate(
         _search_tsp_prio, repeats
+    )
+    metrics["serving_requests_per_s"] = _best_rate(
+        _serving_requests, repeats
     )
     return metrics
 

@@ -86,6 +86,16 @@ class Chare:
         """Handle of the main chare."""
         return self._kernel.main_handle
 
+    @property
+    def local_load(self) -> int:
+        """Instantaneous queued-app-work metric of this chare's PE.
+
+        The same load figure the balancers piggyback on messages (queued
+        application work plus one while executing); admission controllers
+        use it to shed requests when the local queue is already deep.
+        """
+        return self._kernel.pe_load(self._pe)
+
     # -------------------------------------------------------------- compute
     def charge(self, work_units: float) -> None:
         """Account ``work_units`` of CPU work to the current entry execution."""
@@ -101,6 +111,25 @@ class Chare:
     ) -> None:
         """Asynchronously invoke ``entry_name(*args)`` on the chare ``target``."""
         self._kernel.api_send(target, entry_name, args, priority)
+
+    def send_at(
+        self,
+        when: float,
+        target: ChareHandle,
+        entry_name: str,
+        *args: Any,
+        priority: PriorityLike = None,
+    ) -> None:
+        """Send a message that departs at virtual time ``when``.
+
+        The timed analogue of :meth:`send`, for open-loop sources that must
+        schedule their *next* event in the future (e.g. the serving
+        workload's arrival ticks).  ``when`` earlier than the current
+        execution's start is clamped; delivery then follows the normal
+        transit model.  The target must already be placed — in practice use
+        ``self.thishandle`` or ``self.mainhandle``.
+        """
+        self._kernel.api_send_at(target, entry_name, args, when, priority)
 
     def create(
         self,

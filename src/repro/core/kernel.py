@@ -887,6 +887,54 @@ class Kernel:
         )
         ctx.outbox.append((ctx.charged, env))
 
+    def api_send_at(
+        self,
+        target: ChareHandle,
+        entry_name: str,
+        args: tuple,
+        when: float,
+        priority: PriorityLike,
+    ) -> None:
+        """Timed send: the message departs at virtual time ``when``.
+
+        The open-loop workloads (:mod:`repro.apps.serving`) use this to
+        schedule *future* self-messages — a load generator's next arrival
+        tick — without a kernel timer subsystem.  Unlike :meth:`api_send`,
+        the envelope bypasses the outbox (whose departure is stamped from
+        charged work at execution end) and goes straight to
+        :meth:`_deliver` with ``departure = max(when, execution start)``,
+        so accounting, tracing, fault injection and quiescence counting all
+        see a perfectly ordinary message.  The target must already be
+        placed (the pending-seed buffer has no timestamp slot); in practice
+        timed sends target ``self`` or the main chare.
+        """
+        ctx = self._current
+        if ctx is None:
+            raise SchedulingError(
+                "chare API used outside an entry-method execution"
+            )
+        dst = self.placement.get(target.gid, "missing")
+        if dst == "missing":
+            raise RoutingError(f"timed send to unknown handle {target}")
+        if dst is None:
+            raise RoutingError(
+                f"timed send to {target} before placement; send_at targets "
+                "must already be placed (self, main, or a fixed-PE chare)"
+            )
+        key = None if priority is None else normalize_priority(priority)
+        env = Envelope(
+            kind=Kind.APP,
+            src_pe=ctx.pe,
+            dst_pe=dst,
+            entry=entry_name,
+            args=args,
+            handle=target,
+            priority=priority,
+            prio_key=key,
+        )
+        now = self.engine._now
+        self._deliver(env, when if when > now else now)
+
     def api_create(
         self,
         chare_cls: type,

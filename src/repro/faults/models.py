@@ -79,6 +79,7 @@ class FaultConfig:
     ack_timeout: float = 2e-3    # sender timeout before first retransmission
     retry_backoff: float = 2.0   # timeout multiplier per successive retry
     max_retries: int = 16        # safety valve; exceeding it raises FaultError
+    max_backoff: float = 0.5     # retransmission-delay ceiling (seconds)
 
     # -- network duplication ------------------------------------------------
     dup_prob: float = 0.0        # chance a remote msg is delivered twice
@@ -105,6 +106,8 @@ class FaultConfig:
                                  "config error, not a fault model)")
         if self.retry_backoff < 1.0:
             raise FaultError("retry_backoff must be >= 1")
+        if self.max_backoff <= 0.0:
+            raise FaultError("max_backoff must be positive")
         if self.max_retries < 1:
             raise FaultError("max_retries must be >= 1")
         if self.slow_factor < 1.0:
@@ -326,7 +329,13 @@ class FaultLayer:
                               info={"attempt": attempt})
         else:
             self._schedule(arrival, self._arrive_checked_cb, env)
+        # Exponential backoff with a ceiling: uncapped doubling compounds
+        # with long PE stalls — a handful of unlucky retries can push the
+        # retransmission delay past the entire run's span and dominate
+        # virtual time.  The ceiling keeps the timer within max_backoff.
         backoff = cfg.ack_timeout * (cfg.retry_backoff ** attempt)
+        if backoff > cfg.max_backoff:
+            backoff = cfg.max_backoff
         self._schedule(now + backoff, self._on_timeout_cb, (uid, attempt))
 
     # ------------------------------------------------------------- PE faults

@@ -1,5 +1,13 @@
-"""Time-series metrics over structured event logs (see sampler)."""
+"""Metrics over structured event logs: time series (sampler) and
+per-request latency reconstruction (latency)."""
 
+from repro.metrics.latency import latency_summary, percentile, request_latencies
 from repro.metrics.sampler import sample_metrics, metrics_summary
 
-__all__ = ["sample_metrics", "metrics_summary"]
+__all__ = [
+    "sample_metrics",
+    "metrics_summary",
+    "percentile",
+    "request_latencies",
+    "latency_summary",
+]

@@ -1,0 +1,212 @@
+"""Per-request latency reconstruction from the causal event log.
+
+The serving workload (:mod:`repro.apps.serving`) deliberately adds **no**
+kernel-side latency hooks: every number here is recovered from the
+structured event log's parent chains (PR 5).  A request's life looks like::
+
+    source exec ──send──▶ [lb ─▶ deliver ─▶ send]* ─▶ deliver ─▶ exec_begin
+                                                        (stage 0)   │
+                 stage 0 exec ──send──▶ ... ─▶ deliver ─▶ exec_begin │
+                                                        (stage k)   ▼
+                 final stage ──send "done"──▶ collector
+
+so walking parents from the final stage's ``done`` (or ``shed``) send
+recovers, exactly and per request:
+
+* **injection time** — the timestamp of the *original* send event closest
+  to the source execution (forwarded balancer legs get fresh uids but stay
+  parent-linked through their ``lb``/``deliver``/``send`` hops, so the walk
+  crosses them);
+* **end-to-end latency** — final stage ``exec_end`` minus injection;
+* **queue wait** — sum over stages of ``exec_begin.t - deliver.t`` (time
+  spent enqueued behind other work on the serving PE);
+* **service** — sum of stage execution durations; the remainder is wire
+  transit plus balancer forwarding.
+
+Requires the ``send``/``deliver``/``exec_begin``/``exec_end`` kinds in the
+log (the serving runner records exactly those by default).  Percentiles use
+the *nearest-rank* method — the p-th percentile of n samples is the
+``ceil(p/100 * n)``-th smallest — so small hand-computed samples in tests
+match exactly, with no interpolation ambiguity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["percentile", "request_latencies", "latency_summary"]
+
+
+def _as_dict(record: Any) -> Dict[str, Any]:
+    return record if isinstance(record, dict) else record.as_dict()
+
+
+# ================================================================ percentiles
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile: the ``ceil(q/100 * n)``-th smallest value.
+
+    ``values`` need not be pre-sorted.  Raises on an empty sample — an
+    undefined percentile must never silently become a number.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        raise ConfigurationError("percentile of an empty sample is undefined")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+# ========================================================= chain reconstruction
+def _walk_to_origin(
+    deliver: Dict[str, Any], by_eid: Dict[int, Dict[str, Any]]
+) -> Tuple[Optional[Dict[str, Any]], Optional[float]]:
+    """Walk a delivery's parent chain to the execution that originated it.
+
+    Returns ``(origin exec_begin or None, original send timestamp)``.
+    Crosses balancer forwarding legs (``send -> lb -> deliver -> send ...``)
+    and fault retransmissions, keeping the *earliest* send seen — that is
+    the injection point.
+    """
+    origin_send_t: Optional[float] = None
+    cur = deliver
+    while True:
+        parent_eid = cur.get("parent")
+        parent = by_eid.get(parent_eid) if parent_eid is not None else None
+        if parent is None:
+            return None, origin_send_t
+        kind = parent["kind"]
+        if kind == "exec_begin":
+            return parent, origin_send_t
+        if kind == "send":
+            origin_send_t = parent["t"]
+        cur = parent
+
+
+def request_latencies(
+    records: Sequence[Any],
+    *,
+    request_name: str = "Request",
+    done_entry: str = "done",
+    shed_entry: str = "shed",
+) -> List[Dict[str, Any]]:
+    """Reconstruct one record per finished request from the event log.
+
+    Each record has ``kind`` ("done" for served, "shed" for requests the
+    admission controller turned away), ``inject_t``, ``complete_t``,
+    ``latency``, ``queue_wait``, ``service`` and ``stages``.  Output is
+    sorted by injection time, so it is deterministic for a deterministic
+    run regardless of log interleaving.
+    """
+    events = [_as_dict(r) for r in records]
+    by_eid = {e["eid"]: e for e in events}
+    end_of: Dict[int, Dict[str, Any]] = {}
+    for e in events:
+        if e["kind"] == "exec_end" and e.get("parent") is not None:
+            end_of[e["parent"]] = e
+
+    out: List[Dict[str, Any]] = []
+    for e in events:
+        if e["kind"] != "send" or e.get("name") not in (done_entry, shed_entry):
+            continue
+        begin = by_eid.get(e.get("parent"))
+        if begin is None or begin["kind"] != "exec_begin":
+            continue
+        # Walk the pipeline backwards from the final stage's execution.
+        stages = 0
+        queue_wait = 0.0
+        service = 0.0
+        inject_t: Optional[float] = None
+        final_end = end_of.get(begin["eid"])
+        complete_t = final_end["t"] if final_end is not None else e["t"]
+        cur = begin
+        valid = True
+        while True:
+            if cur.get("name") != request_name:
+                valid = False  # a completion sent by a non-request execution
+                break
+            stages += 1
+            stage_end = end_of.get(cur["eid"])
+            if stage_end is not None and stage_end.get("dur") is not None:
+                service += stage_end["dur"]
+            deliver = by_eid.get(cur.get("parent"))
+            if deliver is None or deliver["kind"] != "deliver":
+                valid = False  # truncated log
+                break
+            queue_wait += cur["t"] - deliver["t"]
+            origin, send_t = _walk_to_origin(deliver, by_eid)
+            if send_t is not None:
+                inject_t = send_t
+            if origin is not None and origin.get("name") == request_name:
+                cur = origin  # previous pipeline stage
+                continue
+            break
+        if not valid or inject_t is None:
+            continue
+        out.append({
+            "kind": "shed" if e["name"] == shed_entry else "done",
+            "inject_t": inject_t,
+            "complete_t": complete_t,
+            "latency": complete_t - inject_t,
+            "queue_wait": queue_wait,
+            "service": service,
+            "stages": stages,
+        })
+    out.sort(key=lambda r: (r["inject_t"], r["complete_t"]))
+    return out
+
+
+# ===================================================================== summary
+def latency_summary(
+    records: Sequence[Any],
+    *,
+    request_name: str = "Request",
+    done_entry: str = "done",
+    shed_entry: str = "shed",
+    quantiles: Tuple[float, ...] = (50.0, 95.0, 99.0),
+) -> Dict[str, Any]:
+    """Scalar latency digest of a serving run's event log.
+
+    Counts plus nearest-rank percentiles over *served* requests, and the
+    queue-wait / service / transit decomposition of the mean.  Percentile
+    fields are ``None`` when no request completed (an empty summary must
+    stay visibly empty, not read as a zero-latency system).
+    """
+    reqs = request_latencies(
+        records,
+        request_name=request_name,
+        done_entry=done_entry,
+        shed_entry=shed_entry,
+    )
+    served = [r for r in reqs if r["kind"] == "done"]
+    shed = [r for r in reqs if r["kind"] == "shed"]
+    summary: Dict[str, Any] = {
+        "requests": len(reqs),
+        "completed": len(served),
+        "shed": len(shed),
+    }
+    latencies = sorted(r["latency"] for r in served)
+    if latencies:
+        n = len(latencies)
+        for q in quantiles:
+            label = f"p{q:g}"
+            summary[label] = latencies[max(1, math.ceil(q / 100.0 * n)) - 1]
+        summary["mean"] = sum(latencies) / n
+        summary["min"] = latencies[0]
+        summary["max"] = latencies[-1]
+        summary["mean_queue_wait"] = sum(r["queue_wait"] for r in served) / n
+        summary["mean_service"] = sum(r["service"] for r in served) / n
+        summary["mean_transit"] = (
+            summary["mean"] - summary["mean_queue_wait"] - summary["mean_service"]
+        )
+    else:
+        for q in quantiles:
+            summary[f"p{q:g}"] = None
+        summary["mean"] = summary["min"] = summary["max"] = None
+        summary["mean_queue_wait"] = None
+        summary["mean_service"] = None
+        summary["mean_transit"] = None
+    return summary

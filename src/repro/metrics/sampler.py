@@ -68,6 +68,10 @@ def sample_metrics(
     """Bucket a run's event records into time-series metric rows."""
     if buckets < 1:
         raise ValueError("buckets must be >= 1")
+    if num_pes is not None and num_pes < 1:
+        # util divides by num_pes; 0 would raise ZeroDivisionError deep in
+        # the row loop and a negative count would yield negative utilization.
+        raise ValueError("num_pes must be >= 1 when given")
     events = [_as_dict(r) for r in records]
     if not events:
         return []

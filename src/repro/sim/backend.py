@@ -459,6 +459,14 @@ class BatchBackend:
         flushed = 0
         try:
             while times:
+                if max_events is not None and fired >= max_events:
+                    # Budget exhausted exactly at a cohort boundary: return
+                    # *before* advancing the clock to the next cohort.  The
+                    # heap path checks its budget before popping, so its
+                    # ``now`` stays at the last fired event — advancing here
+                    # would make a truncated run's final time depend on the
+                    # backend.
+                    return fired, True
                 t = times[0]
                 bucket = buckets[t]
                 self._now = t

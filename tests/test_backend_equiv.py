@@ -206,6 +206,83 @@ def test_drive_request_stop_wins_over_budget(backend):
     assert eng.pending == 1
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_drive_truncation_at_cohort_boundary_keeps_clock(backend):
+    # Regression: the batch path used to advance ``now`` to the *next*
+    # cohort's timestamp when the budget expired exactly at a cohort
+    # boundary (the outer bucket loop set the clock before checking the
+    # budget), so a truncated run's final time depended on the backend.
+    eng = make_backend(backend)
+    order = []
+    for i in range(3):
+        eng.schedule_call(1.0, order.append, i)
+    for i in range(3, 5):
+        eng.schedule_call(2.0, order.append, i)
+    fired, truncated = eng.drive(max_events=3)
+    assert (fired, truncated) == (3, True)
+    assert order == [0, 1, 2]
+    assert eng.now == 1.0  # must not leak into the unfired cohort
+    fired, truncated = eng.drive()
+    assert (fired, truncated) == (2, False)
+    assert order == [0, 1, 2, 3, 4]
+    assert eng.now == 2.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_request_stop_mid_cohort_preserves_remainder(backend):
+    # A stop requested while a timestamp cohort is partially drained must
+    # not lose or reorder the cohort's remaining events.
+    eng = make_backend(backend)
+    order = []
+
+    def stopper(tag):
+        order.append(tag)
+        eng.request_stop()
+
+    eng.schedule_call(1.0, order.append, "a")
+    eng.schedule_call(1.0, stopper, "stop")
+    eng.schedule_call(1.0, order.append, "b")
+    eng.schedule_call(1.0, order.append, "c")
+    eng.schedule_call(2.0, order.append, "d")
+    fired, truncated = eng.drive()
+    assert (fired, truncated) == (2, False)
+    assert order == ["a", "stop"]
+    assert eng.now == 1.0
+    assert eng.pending == 3
+    # Resume: the remainder fires exactly once, in schedule order.
+    fired, truncated = eng.drive()
+    assert (fired, truncated) == (3, False)
+    assert order == ["a", "stop", "b", "c", "d"]
+    assert eng.now == 2.0
+    assert eng.pending == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_budgeted_stop_then_boundary_truncation(backend):
+    # Stop mid-cohort under a budget, then resume with a budget that runs
+    # out exactly at the cohort boundary — the two edge cases composed.
+    eng = make_backend(backend)
+    order = []
+
+    def stopper(tag):
+        order.append(tag)
+        eng.request_stop()
+
+    eng.schedule_call(1.0, order.append, "a")
+    eng.schedule_call(1.0, stopper, "stop")
+    eng.schedule_call(1.0, order.append, "b")
+    eng.schedule_call(1.0, order.append, "c")
+    eng.schedule_call(2.0, order.append, "d")
+    assert eng.drive(max_events=4) == (2, False)  # stop wins over budget
+    assert order == ["a", "stop"]
+    assert eng.drive(max_events=2) == (2, True)
+    assert order == ["a", "stop", "b", "c"]
+    assert eng.now == 1.0  # boundary truncation: clock stays on the cohort
+    assert eng.drive() == (1, False)
+    assert order == ["a", "stop", "b", "c", "d"]
+    assert eng.now == 2.0
+
+
 def test_drive_parity_on_random_schedule():
     rng = RngStream(77, "drive-parity")
     times = [float(rng.randint(0, 9)) for _ in range(200)]

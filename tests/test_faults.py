@@ -44,6 +44,8 @@ def test_config_validation():
         FaultConfig(slow_pes=(0,), slow_factor=0.5)
     with pytest.raises(FaultError):
         FaultConfig(stall_prob=0.1, stall_time=-1.0)
+    with pytest.raises(FaultError):
+        FaultConfig(drop_prob=0.1, max_backoff=0.0)
 
 
 def test_config_describe():
@@ -171,6 +173,30 @@ def test_drop_plus_dup_combined():
 def test_retry_safety_valve_trips():
     with pytest.raises(FaultError):
         _queens(3, drop_prob=0.9, max_retries=1)
+
+
+def test_backoff_cap_dormant_at_default_loss_rates():
+    """The ceiling pins historical results: R-series-style configs never
+    reach it, so a run with the default cap is bit-identical to one with
+    an effectively infinite cap (pre-ceiling behaviour)."""
+    a_cap, r_cap = _queens(3, **DROPPY)
+    a_inf, r_inf = _queens(3, **DROPPY, max_backoff=1e9)
+    assert _fingerprint(a_cap, r_cap) == _fingerprint(a_inf, r_inf)
+
+
+def test_backoff_cap_engages_and_bounds_retry_delay():
+    """Under heavy loss with an aggressive timeout, uncapped doubling used
+    to push retransmissions seconds into virtual time; the ceiling keeps
+    the retry cadence bounded without changing the answer."""
+    heavy = dict(drop_prob=0.55, ack_timeout=1e-4, max_retries=24)
+    a_tight, r_tight = _queens(3, max_backoff=2e-4, **heavy)
+    a_loose, r_loose = _queens(3, max_backoff=1e9, **heavy)
+    base_answer, _ = _queens(3)
+    assert a_tight == a_loose == base_answer
+    assert r_tight.kernel.faults.retries > 0
+    # Same loss schedule, same retries needed — but the capped run pays a
+    # bounded delay per attempt and finishes strictly sooner.
+    assert r_tight.time < r_loose.time
 
 
 def test_per_pe_counters_sum_to_aggregates():

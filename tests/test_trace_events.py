@@ -10,7 +10,7 @@ from repro.bench.harness import describe, measure_many, use_tracing
 from repro.bench.parallel import SweepExecutor, use_executor
 from repro.faults import FaultConfig
 from repro.machine.presets import make_machine
-from repro.metrics import sample_metrics
+from repro.metrics import metrics_summary, sample_metrics
 from repro.trace import (
     EVENT_KINDS,
     EventLog,
@@ -299,6 +299,62 @@ def test_sample_metrics_sanity(records, traced_run):
 
 def test_sample_metrics_empty():
     assert sample_metrics([]) == []
+
+
+def _rec(eid, kind, t, pe=0, uid=None, parent=None, dur=None, info=None):
+    return {"eid": eid, "kind": kind, "t": t, "pe": pe, "uid": uid,
+            "parent": parent, "name": None, "dur": dur, "info": info}
+
+
+def test_sample_metrics_rejects_bad_num_pes():
+    recs = [_rec(0, "send", 0.0)]
+    with pytest.raises(ValueError):
+        sample_metrics(recs, num_pes=0)
+    with pytest.raises(ValueError):
+        sample_metrics(recs, num_pes=-4)
+    with pytest.raises(ValueError):
+        sample_metrics(recs, buckets=0)
+
+
+def test_sample_metrics_event_at_exact_span_end():
+    """An event stamped exactly at t_end must land in the LAST bucket,
+    not fall off the end (the half-open [t0, t1) rule has a closed last
+    bucket)."""
+    recs = [_rec(0, "send", 0.5), _rec(1, "send", 1.0)]
+    rows = sample_metrics(recs, buckets=4, num_pes=1, t_end=1.0)
+    assert sum(r["msgs_sent"] for r in rows) == 2
+    assert rows[-1]["msgs_sent"] == 1
+    assert rows[2]["msgs_sent"] == 1  # 0.5 -> bucket [0.5, 0.75)
+
+
+def test_sample_metrics_single_event_run():
+    recs = [_rec(0, "exec_end", 2e-3, dur=2e-3)]
+    rows = sample_metrics(recs, buckets=2, num_pes=1)
+    assert len(rows) == 2
+    assert sum(r["msgs_executed"] for r in rows) == 1
+    # The 2 ms execution spans both 1 ms buckets completely.
+    assert rows[0]["util"] == pytest.approx(1.0)
+    assert rows[1]["util"] == pytest.approx(1.0)
+
+
+def test_sample_metrics_zero_span_run():
+    """All events at t == 0 (and t_end == 0): span degenerates but rows
+    still come out, with every event in the catch-all first second."""
+    recs = [_rec(0, "send", 0.0), _rec(1, "exec_end", 0.0, dur=0.0)]
+    rows = sample_metrics(recs, buckets=3, num_pes=2)
+    assert len(rows) == 3
+    assert sum(r["msgs_sent"] for r in rows) == 1
+    assert sum(r["msgs_executed"] for r in rows) == 1
+    assert all(r["t1"] > r["t0"] for r in rows)
+    assert all(r["util"] == 0.0 for r in rows)
+
+
+def test_metrics_summary_edge_inputs():
+    assert metrics_summary([]) == "metrics: (no samples)"
+    rows = sample_metrics([_rec(0, "exec_end", 1e-3, dur=1e-3)],
+                          buckets=1, num_pes=1)
+    line = metrics_summary(rows)
+    assert "1 buckets" in line and "mean util 100.0%" in line
 
 
 # ------------------------------------------------------------- bench path
