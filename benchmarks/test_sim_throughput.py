@@ -263,3 +263,42 @@ def test_search_bitprio_end_to_end_throughput(benchmark):
         return nodes
 
     assert benchmark(run) == 552
+
+
+def test_sparse_kernel_p100k_throughput(benchmark):
+    """Full kernel run on a sparse 100,000-PE machine.
+
+    Exercises the O(active) PE plane end to end — construction, seed
+    fan-out through the random balancer, teardown — where any O(P) term
+    (eager PE lists, counter arrays, balancer tables) would dominate.
+    """
+    from repro.bench._workloads import Fanout
+
+    def run():
+        kernel = Kernel(make_machine("cluster", 100_000, sparse=True),
+                        balancer="random")
+        result = kernel.run(Fanout, 1_000)
+        assert result.result == 1_000
+        return result.events
+
+    assert benchmark(run) > 1_000
+
+
+def test_central_placement_p10k_throughput(benchmark):
+    """CentralBalancer decision loop at P=10,000: the O(log P) lazy heap.
+
+    The historical O(P) argmin scan made this ~100x slower; the
+    benchmark drives load reports and placements directly, no app.
+    """
+    from types import SimpleNamespace
+
+    def run():
+        kernel = Kernel(make_machine("ideal", 10_000), balancer="central")
+        bal = kernel.balancer
+        env = SimpleNamespace(hops=0)
+        for i in range(2_000):
+            bal.note_load(0, (i * 40503) % 63 + 1, (i * 2654435761) % 7)
+            bal.on_seed_arrival(0, env)
+        return bal.seeds_placed_remote
+
+    assert benchmark(run) > 0

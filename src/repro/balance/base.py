@@ -18,7 +18,8 @@ information structure matches a real distributed implementation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import defaultdict
+from typing import Dict, Optional
 
 from repro.core.messages import Envelope
 from repro.core.services import Service
@@ -36,7 +37,9 @@ class Balancer(Service):
         super().bind(kernel)
         self.rng = kernel.rng.child("lb")
         # known[observer][subject] = last load value piggybacked to observer.
-        self.known: List[Dict[int, int]] = [dict() for _ in range(kernel.num_pes)]
+        # Default-on-touch: observers materialize a row on first use, so a
+        # P=10⁶ machine carries only as many rows as there are active PEs.
+        self.known: Dict[int, Dict[int, int]] = defaultdict(dict)
         self.seeds_placed_remote = 0
         self.control_msgs = 0
 
@@ -81,4 +84,5 @@ class Balancer(Service):
         return self.kernel.pes[pe].load
 
     def known_load(self, observer: int, subject: int, default: int = 0) -> int:
-        return self.known[observer].get(subject, default)
+        row = self.known.get(observer)
+        return default if row is None else row.get(subject, default)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections import defaultdict
+from heapq import heappop, heappush
 from typing import Dict, Optional
 
 from repro.balance.base import Balancer
@@ -56,10 +58,12 @@ class RoundRobinBalancer(Balancer):
 
     def bind(self, kernel) -> None:
         super().bind(kernel)
-        self._cursor: Dict[int, int] = {pe: pe for pe in range(kernel.num_pes)}
+        # Cursor defaults to the creator's own rank on first touch — the
+        # same start point the old P-sized prefill gave every PE.
+        self._cursor: Dict[int, int] = {}
 
     def on_new_seed(self, src_pe: int, chare_cls: type) -> int:
-        nxt = (self._cursor[src_pe] + 1) % self.kernel.num_pes
+        nxt = (self._cursor.get(src_pe, src_pe) + 1) % self.kernel.num_pes
         self._cursor[src_pe] = nxt
         if nxt != src_pe:
             self.seeds_placed_remote += 1
@@ -74,13 +78,33 @@ class CentralBalancer(Balancer):
     assignments).  Centralization gives the best information but every seed
     pays a trip through PE 0 — the bottleneck experiment T5 exhibits as P
     grows.
+
+    Placement is O(log P), not the O(P) scan it once was: *touched*
+    candidates (any rank the manager has assigned to or heard from) sit in
+    a lazy min-heap of ``(estimate, rank)`` entries, every never-touched
+    rank has estimate 0 by construction and is represented by the single
+    lowest such rank (``_frontier``), and PE 0's own estimate is computed
+    live.  The minimum over those three ``(estimate, rank)`` tuples
+    reproduces the historical scan's result exactly, including its
+    lowest-index tie-break.
     """
 
     strategy_name = "central"
 
     def bind(self, kernel) -> None:
         super().bind(kernel)
-        self._outstanding: Dict[int, int] = {pe: 0 for pe in range(kernel.num_pes)}
+        self._outstanding: Dict[int, int] = defaultdict(int)
+        # (est, cand) entries for touched cands >= 1; entries go stale when
+        # a cand's estimate changes and are popped lazily on inspection.
+        self._heap: list = []
+        self._est: Dict[int, int] = {}  # authoritative estimate per cand
+        self._frontier = 1  # lowest never-touched rank (touched only grows)
+
+    def _touch(self, cand: int) -> None:
+        """Refresh a candidate's estimate after it changed."""
+        est = self.known_load(0, cand) + self._outstanding[cand]
+        self._est[cand] = est
+        heappush(self._heap, (est, cand))
 
     def on_new_seed(self, src_pe: int, chare_cls: type) -> int:
         return 0
@@ -90,21 +114,34 @@ class CentralBalancer(Balancer):
         if observer == 0:
             # Fresh truth from `subject` supersedes optimistic bookkeeping.
             self._outstanding[subject] = 0
+            if subject != 0:
+                self._touch(subject)
 
     def on_seed_arrival(self, pe: int, env: Envelope) -> Optional[int]:
         if pe != 0 or env.hops > 0:
             return None  # already assigned
         n = self.kernel.num_pes
-        best, best_load = 0, None
-        for cand in range(n):
-            est = (
-                self.local_load(0) if cand == 0 else self.known_load(0, cand)
-            ) + self._outstanding[cand]
-            if best_load is None or est < best_load:
-                best, best_load = cand, est
+        est = self._est
+        f = self._frontier
+        while f < n and f in est:
+            f += 1
+        self._frontier = f
+        heap = self._heap
+        while heap and est.get(heap[0][1]) != heap[0][0]:
+            heappop(heap)  # stale entry: estimate has since changed
+        # Lowest (estimate, rank) among: the manager itself, the best
+        # touched candidate, and the frontier (every untouched rank has
+        # estimate exactly 0 — no piggybacked load, no assignments).
+        choices = [(self.local_load(0) + self._outstanding[0], 0)]
+        if heap:
+            choices.append(heap[0])
+        if f < n:
+            choices.append((0, f))
+        _, best = min(choices)
         self._outstanding[best] += 1
         if best == 0:
             return None
+        self._touch(best)
         self.seeds_placed_remote += 1
         return best
 
@@ -136,7 +173,7 @@ class TokenBalancer(Balancer):
 
     def bind(self, kernel) -> None:
         super().bind(kernel)
-        self._attempts: Dict[int, int] = {pe: 0 for pe in range(kernel.num_pes)}
+        self._attempts: Dict[int, int] = defaultdict(int)
 
     def on_seed_arrival(self, pe: int, env: Envelope) -> Optional[int]:
         self._attempts[pe] = 0  # fresh work: reset the probe budget
@@ -299,8 +336,9 @@ class GradientBalancer(Balancer):
 
     def bind(self, kernel) -> None:
         super().bind(kernel)
-        # proximity[pe] = {origin: (hops, via_neighbor)}
-        self._prox: list[Dict[int, tuple]] = [dict() for _ in range(kernel.num_pes)]
+        # proximity[pe] = {origin: (hops, via_neighbor)}; rows materialize
+        # on first gradient contact (per-row insertion order preserved).
+        self._prox: Dict[int, Dict[int, tuple]] = defaultdict(dict)
         if self.max_hops is None:
             diam = kernel.machine.topology.diameter() if kernel.num_pes > 1 else 0
             self.max_hops = max(2, diam)

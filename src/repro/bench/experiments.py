@@ -443,6 +443,67 @@ def exp_t10(scale: str = "paper") -> ExperimentResult:
 
 
 # ------------------------------------------------------------------------ F1
+def exp_t11(scale: str = "paper") -> ExperimentResult:
+    """Sparse-PE scale curve: the same problem on 10³–10⁶-PE machines.
+
+    The sparse-kernel claim quantified: with O(active) per-PE state, the
+    machine's rank count is free — a fixed fib/tree problem touches the
+    same handful of ranks whether the machine has 10³ or 10⁶ PEs, and
+    host cost tracks the touched set, not P.  ``tree`` additionally
+    drives quiescence waves and an accumulator collect over the touched
+    snapshot; ``fib`` terminates structurally.  Uses the cluster preset
+    (fully connected, O(1) construction) with sparse startup.
+    """
+    pes_list = ([1_000, 10_000] if scale == "quick"
+                else [1_000, 10_000, 100_000, 1_000_000])
+    apps = ["fib", "tree"]
+    sizes = _sizes("quick")  # fixed problem: the sweep scales P, not work
+    descs = [
+        describe(app, "cluster", p, sparse=True, **sizes.get(app, {}))
+        for app in apps
+        for p in pes_list
+    ]
+    all_rows = measure_many(descs, label="t11")
+    headers = ["program", "P", "time (ms)", "executions", "touched PEs",
+               "host (s)"]
+    rows = []
+    data: Dict[str, Any] = {"machine": "cluster", "pes": pes_list,
+                            "apps": {}}
+    for idx, app in enumerate(apps):
+        chunk = all_rows[idx * len(pes_list):(idx + 1) * len(pes_list)]
+        answers = {repr(r.answer) for r in chunk}
+        assert len(answers) == 1, f"{app} answer depends on machine size"
+        series = []
+        for p, row in zip(pes_list, chunk):
+            st = row.stats
+            touched = len(st.pe_rows)
+            if p >= 100_000:
+                assert touched < p // 100, (
+                    f"{app}@P={p} touched {touched} ranks — not O(active)")
+            rows.append([app, p, row.vtime_ms,
+                         st.total_msgs_executed + st.total_system_executed,
+                         touched, round(row.host_seconds, 3)])
+            series.append({
+                "pes": p,
+                "time": row.vtime,
+                "executions": (st.total_msgs_executed
+                               + st.total_system_executed),
+                "touched": touched,
+                "host_seconds": row.host_seconds,
+            })
+        data["apps"][app] = series
+    return ExperimentResult(
+        "T11",
+        "sparse-PE machines: fixed work, P to 10\N{SUPERSCRIPT SIX}",
+        format_table(
+            headers, rows,
+            title="Fixed problem on sparse cluster machines "
+                  "(touched = materialized PE ranks)",
+        ),
+        data,
+    )
+
+
 def exp_f1(scale: str = "paper") -> ExperimentResult:
     """Speedup curves across machine classes (figure: one series per pair)."""
     if scale == "quick":
@@ -711,6 +772,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "t8": exp_t8,
     "t9": exp_t9,
     "t10": exp_t10,
+    "t11": exp_t11,
     "f1": exp_f1,
     "f2": exp_f2,
     "f3": exp_f3,
@@ -720,6 +782,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "s2": _serving("exp_s2"),
     "s3": _serving("exp_s3"),
     "s4": _serving("exp_s4"),
+    "s5": _serving("exp_s5"),
 }
 
 

@@ -49,10 +49,15 @@ DEFAULT_PATH = "BENCH_sim_throughput.json"
 #: send-time normalization, lane-split pools); the ``*_batch_*`` metrics
 #: guard the batch-backend fast lane (timestamp-cohort draining) and only
 #: appear in entries recorded with ``--backend batch``.
+#: ``engine_events_per_s_p100k`` guards the sparse-PE plane: a full
+#: kernel run on a 100,000-PE machine, impossible before per-PE state
+#: became O(active) — any O(P) term creeping back into startup, delivery
+#: or teardown shows up here first.
 GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
                    "kernel_seeds_per_s", "pool_prio_ops_per_s",
                    "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s",
-                   "engine_batch_events_per_s", "kernel_batch_seeds_per_s")
+                   "engine_batch_events_per_s", "kernel_batch_seeds_per_s",
+                   "engine_events_per_s_p100k")
 
 
 # --------------------------------------------------------------- measurement
@@ -121,6 +126,56 @@ def _seed_fanout(num_pes: int, backend: str = "heap") -> Callable[[], int]:
         seeds = 1_000
         assert kernel.run(Fanout, seeds).result == seeds
         return seeds
+
+    return run
+
+
+def _sparse_fanout(num_pes: int, backend: str = "heap") -> Callable[[], int]:
+    """Full kernel run on a sparse large-P machine; returns events fired.
+
+    The rate is engine events per host second *including* kernel
+    construction and teardown — exactly where an accidental O(P) loop
+    (eager PE lists, counter arrays, balancer tables) would dominate at
+    P=100,000.
+    """
+
+    def run() -> int:
+        from repro import Kernel, make_machine
+        from repro.bench._workloads import Fanout
+
+        kernel = Kernel(
+            make_machine("cluster", num_pes, backend=backend, sparse=True),
+            balancer="random",
+        )
+        result = kernel.run(Fanout, 1_000)
+        assert result.result == 1_000
+        return result.events
+
+    return run
+
+
+def _central_placements(num_pes: int) -> Callable[[], int]:
+    """Manager-placement micro-benchmark: seed placements per host second.
+
+    Drives the CentralBalancer's decision loop directly (alternating
+    piggybacked load reports with placements) — the op the sparse refactor
+    took from an O(P) scan to an O(log P) lazy-heap pop, worth ~100x at
+    P=10,000.
+    """
+
+    def run() -> int:
+        from types import SimpleNamespace
+
+        from repro import Kernel, make_machine
+
+        kernel = Kernel(make_machine("ideal", num_pes), balancer="central")
+        bal = kernel.balancer
+        env = SimpleNamespace(hops=0)
+        n = 2_000
+        for i in range(n):
+            bal.note_load(0, (i * 40503) % 63 + 1, (i * 2654435761) % 7)
+            bal.on_seed_arrival(0, env)
+        return n
 
     return run
 
@@ -292,6 +347,9 @@ def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, flo
             metrics[f"kernel_batch_seeds_per_s_p{pes}"] = _best_rate(
                 _seed_fanout(pes, "batch"), repeats
             )
+        metrics["engine_batch_events_per_s_p100k"] = _best_rate(
+            _sparse_fanout(100_000, "batch"), repeats
+        )
         return metrics
     metrics = {
         "engine_events_per_s": _best_rate(_engine_events(), repeats),
@@ -314,6 +372,12 @@ def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, flo
     )
     metrics["pool_prio_mixed_ops_per_s"] = _best_rate(
         _pool_churn_mixed("prio"), repeats
+    )
+    metrics["engine_events_per_s_p100k"] = _best_rate(
+        _sparse_fanout(100_000), repeats
+    )
+    metrics["central_place_p10k_ops_per_s"] = _best_rate(
+        _central_placements(10_000), repeats
     )
     metrics["search_bitprio_nodes_per_s"] = _best_rate(
         _search_nqueens_bitprio, repeats

@@ -31,7 +31,7 @@ from repro.faults import FaultConfig
 from repro.machine.presets import make_machine
 from repro.workloads.arrivals import Bursty, Diurnal, Poisson, ServiceSpec
 
-__all__ = ["exp_s1", "exp_s2", "exp_s3", "exp_s4"]
+__all__ = ["exp_s1", "exp_s2", "exp_s3", "exp_s4", "exp_s5"]
 
 #: Per-stage service demand used by every S experiment (exponential with a
 #: mean of 400 work units ≈ 1.2 ms on ncube2).
@@ -292,6 +292,64 @@ def exp_s4(scale: str = "paper") -> ExperimentResult:  # noqa: F821
             title=f"Live stream at {util * 100:.0f}% utilization under "
             f"fault models, {MACHINE} P={pes} (every offered request "
             "completes in every arm)",
+        ),
+        data,
+    )
+
+
+# ------------------------------------------------------------------------ S5
+def exp_s5(scale: str = "paper") -> ExperimentResult:  # noqa: F821
+    """Serving on sparse large-P farms: machine size is free.
+
+    The sparse-PE kernel's serving claim: a fixed request stream against
+    farms of 10³–10⁵ PEs costs the same — the central manager only ever
+    materializes the ranks it assigns work to, so resident state and
+    host cost track the request count, not the machine size.  Latency
+    digests must be essentially identical across farm sizes (the stream
+    never saturates even the smallest farm).  Uses the cluster preset
+    (fully connected, so farm size does not change hop costs).
+    """
+    pes_list = [1_000, 10_000] if scale == "quick" else [1_000, 10_000,
+                                                         100_000]
+    count = 250 if scale == "quick" else 1000
+    machine = "cluster"
+    # Fixed offered rate, sized against the smallest farm at low load so
+    # every arm sees the identical stream (same seeds, same timestamps).
+    p = make_machine(machine, pes_list[0]).params
+    cost = SERVICE.mean * p.work_unit_time + p.sched_overhead + p.recv_overhead
+    rate = 0.3 * pes_list[0] / cost
+    descs = [
+        describe("serving", machine, pes, sparse=True, balancer="central",
+                 arrivals=Poisson(rate=rate, count=count), service=SERVICE)
+        for pes in pes_list
+    ]
+    rows_out = measure_many(descs, label="s5")
+    headers = ["P", "done", "touched PEs", "p50 (ms)", "p95 (ms)",
+               "p99 (ms)", "mean (ms)", "host (s)"]
+    table_rows = []
+    series = []
+    for pes, row in zip(pes_list, rows_out):
+        ans = row.answer
+        assert ans["completed"] == ans["offered"], (
+            f"S5 lost requests at P={pes}: {ans}")
+        touched = len(row.stats.pe_rows)
+        assert touched <= count + 2, (
+            f"S5 touched {touched} ranks for {count} requests at P={pes}")
+        table_rows.append([pes, ans["completed"], touched,
+                           _ms(ans["p50"]), _ms(ans["p95"]),
+                           _ms(ans["p99"]), _ms(ans["mean"]),
+                           round(row.host_seconds, 3)])
+        series.append({"pes": pes, "touched": touched,
+                       "host_seconds": row.host_seconds, **_series(ans)})
+    data = {"machine": machine, "pes": pes_list, "count": count,
+            "rate": rate, "series": series}
+    return _result_cls()(
+        "S5",
+        "serving on sparse large-P farms",
+        format_table(
+            headers, table_rows,
+            title=f"Fixed {count}-request stream against sparse cluster "
+            "farms (touched = materialized PE ranks)",
         ),
         data,
     )

@@ -30,6 +30,7 @@ Execution model (normative — see DESIGN.md §5):
 from __future__ import annotations
 
 import time as _host_time
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from types import FunctionType as _FunctionType
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -37,7 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.chare import BranchOfficeChare, Chare, is_entry
 from repro.core.handles import BocHandle, ChareHandle
 from repro.core.messages import Envelope, Kind
-from repro.core.pe import PEState
+from repro.core.pe import PEPlane, PEState
 from repro.core.services import Service
 from repro.core.tree import make_tree
 from repro.machine.network import Machine
@@ -108,6 +109,8 @@ class Kernel:
         faults: Any = None,
         trace_events: Any = None,
         backend: Optional[str] = None,
+        sparse: Optional[bool] = None,
+        dense_pes: bool = False,
     ) -> None:
         from repro.sim.backend import make_backend  # local: keep core light
         from repro.balance import make_balancer
@@ -180,9 +183,24 @@ class Kernel:
                 self.events = EventLog(kinds=trace_events)
         self._events = self.events
 
-        self.pes: List[PEState] = [
-            PEState(i, strategy_name=queueing) for i in range(machine.num_pes)
-        ]
+        # Sparse-startup mode: explicit argument wins, then the machine's
+        # preference.  When on, the init broadcast is skipped (replication
+        # is modeled free), PEs are born ungated, and global operations
+        # (quiescence waves, accumulator collects, monotonic floods,
+        # reports) enumerate only the *touched* set — the O(active) regime
+        # that makes P=10⁵–10⁶ machines practical.  BOC collectives
+        # (create/broadcast/reduce, write-once) still walk all P ranks;
+        # large-P workloads avoid them.
+        self.sparse = machine.sparse if sparse is None else sparse
+        # The PE plane materializes a PEState on first delivery; untouched
+        # ranks cost nothing.  dense_pes pre-materializes all P (the
+        # historical memory profile, used by the equivalence tests).
+        self.pes: PEPlane = PEPlane(
+            machine.num_pes,
+            queueing,
+            gated=not self.sparse,
+            dense=dense_pes,
+        )
 
         # Fault injection (repro.faults): accepts a FaultConfig or an
         # already-built FaultLayer; None keeps the fault-free fast path
@@ -210,9 +228,9 @@ class Kernel:
             and self._faults is None
             and self._events is None
         )
-        # Quiescence accounting (counted messages only).
-        self.counted_sent: List[int] = [0] * machine.num_pes
-        self.counted_processed: List[int] = [0] * machine.num_pes
+        # Quiescence accounting lives on the PEStates (counted_sent /
+        # counted_processed slots); the list-shaped compat properties below
+        # rebuild the historical O(P) views on demand for reports and tests.
         # Network-load accounting: sum over messages of hop count — the
         # link-occupancy metric the topology-aware collectives reduce (A1).
         self.total_message_hops = 0
@@ -290,6 +308,29 @@ class Kernel:
     @property
     def num_pes(self) -> int:
         return self.machine.num_pes
+
+    @property
+    def counted_sent(self) -> List[int]:
+        """Full-length per-PE counted-send view (compat; O(P) to build).
+
+        The counters themselves live on the touched PEStates; untouched
+        ranks report 0, exactly as the eager lists did.  Hot paths read
+        ``self.pes[pe].counted_sent`` directly.
+        """
+        pes = self.pes
+        return [
+            0 if (s := pes.get(i)) is None else s.counted_sent
+            for i in range(self.machine.num_pes)
+        ]
+
+    @property
+    def counted_processed(self) -> List[int]:
+        """Full-length per-PE counted-processed view (compat; O(P))."""
+        pes = self.pes
+        return [
+            0 if (s := pes.get(i)) is None else s.counted_processed
+            for i in range(self.machine.num_pes)
+        ]
 
     @property
     def now(self) -> float:
@@ -376,6 +417,12 @@ class Kernel:
         pe.busy = True
         self._execute(pe, env)
         self._in_main_ctor = False
+        if self.sparse:
+            # Sparse startup: no init broadcast (an O(P) message wave is
+            # exactly what this mode exists to avoid).  Replication is
+            # modeled free — PEs materialize ungated, and read-only vars /
+            # declarations are host-shared as always.
+            return
         # Distribute init (read-only vars + declarations) down the rank tree.
         # Gates open as it arrives; PE 0's opens via a local message.
         init_payload = (dict(self.readonly_vars), self.sharing.declarations())
@@ -417,7 +464,7 @@ class Kernel:
         if events is not None:
             events.msg_send(departure, env)
         if env.counted and not env.suppress_sent_count:
-            self.counted_sent[src_pe] += 1
+            src.counted_sent += 1
         dst_pe = env.dst_pe
         faults = self._faults
         if src_pe == dst_pe:
@@ -461,7 +508,6 @@ class Kernel:
         per-envelope control, or the machine is heterogeneous.
         """
         pes = self.pes
-        counted_sent = self.counted_sent
         next_uid = self._next_uid
         hops = self._hops
         transit_time = self._transit_time
@@ -489,7 +535,7 @@ class Kernel:
                 env.uid = next_uid
                 next_uid += 1
             if env.counted and not env.suppress_sent_count:
-                counted_sent[src_pe] += 1
+                src.counted_sent += 1
             dst_pe = env.dst_pe
             if src_pe == dst_pe:
                 arrival = departure + local_alpha
@@ -697,7 +743,7 @@ class Kernel:
             pe.msgs_executed += 1
             pe.idle_notified = False
         if env.counted:
-            self.counted_processed[pe.index] += 1
+            pe.counted_processed += 1
             self.last_counted_exec_time = start + duration
         if self.timeline is not None:
             self.timeline.record(pe.index, start, duration, env)
@@ -1140,14 +1186,21 @@ class Kernel:
         self._reduce_fold(boc.boc_id, tag, ctx.pe, 1, "sum", None, entry_name,
                           own=True, mode="barrier")
 
-    def _red_state(self, boc_id: int, tag: str, pe: int) -> dict:
+    def _red_state(self, boc_id: int, tag: str, pe: int,
+                   span: Optional[tuple] = None) -> dict:
         key = (boc_id, tag, pe)
         st = self._reductions.get(key)
         if st is None:
+            if span is not None:
+                # Sparse collect: fold over the snapshot's virtual tree.
+                ranks, wtree = span
+                need = 1 + len(wtree.children(bisect_left(ranks, pe)))
+            else:
+                need = 1 + len(self.tree.children(pe))
             st = {
                 "value": None,
                 "have": 0,
-                "need": 1 + len(self.tree.children(pe)),
+                "need": need,
                 "op": None,
                 "target": None,
                 "entry": None,
@@ -1167,10 +1220,17 @@ class Kernel:
         entry_name: str,
         own: bool,
         mode: str = "deliver",
-    ) -> None:
+        span: Optional[tuple] = None,
+    ) -> bool:
+        """Fold one contribution; returns True when the root completed.
+
+        ``span`` — a ``(sorted_ranks, virtual_tree)`` snapshot — reshapes
+        the fold over the touched set for sparse accumulator collects;
+        ``None`` folds over the machine's full spanning tree as always.
+        """
         from repro.sharing.ops import combine  # avoid import cycle at module load
 
-        st = self._red_state(boc_id, tag, pe)
+        st = self._red_state(boc_id, tag, pe, span)
         if op is not None:
             st["op"] = op
         if target is not None:
@@ -1182,10 +1242,15 @@ class Kernel:
         st["value"] = value if st["have"] == 0 else combine(st["op"], st["value"], value)
         st["have"] += 1
         if st["have"] < st["need"]:
-            return
+            return False
         # Subtree complete: push up, or complete at the root.
         del self._reductions[(boc_id, tag, pe)]
-        parent = self.tree.parent(pe)
+        if span is not None:
+            ranks, wtree = span
+            vparent = wtree.parent(bisect_left(ranks, pe))
+            parent = None if vparent is None else ranks[vparent]
+        else:
+            parent = self.tree.parent(pe)
         if parent is not None:
             self.svc_send(
                 "share",
@@ -1196,14 +1261,14 @@ class Kernel:
                  st["mode"]),
                 counted=True,
             )
-            return
+            return False
         if st["mode"] == "barrier":
             # Release: every branch gets entry(tag, count) via the tree.
             self.svc_send(
                 "share", pe, 0, "boc_bcast",
                 (boc_id, st["entry"], (tag, st["value"])), counted=True,
             )
-            return
+            return True
         env = Envelope(
             kind=Kind.APP,
             src_pe=pe,
@@ -1214,6 +1279,7 @@ class Kernel:
         )
         ctx = self.current
         ctx.outbox.append((ctx.charged, env))
+        return True
 
     def _require_placed(self, handle: ChareHandle) -> int:
         dst = self.placement.get(handle.gid)

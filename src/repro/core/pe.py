@@ -26,12 +26,12 @@ counters drift.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.messages import Envelope, Kind
 from repro.queueing.strategies import QueueStrategy, make_strategy
 
-__all__ = ["PEState"]
+__all__ = ["PEState", "PEPlane"]
 
 # Kind tags as module globals (cheaper than a class-attribute chain in the
 # per-message enqueue below).
@@ -69,6 +69,8 @@ class PEState:
         "retries",
         "stalls",
         "stall_time",
+        "counted_sent",
+        "counted_processed",
         "_system",
         "_app",
         "seed_pool",
@@ -123,6 +125,12 @@ class PEState:
         self.retries = 0
         self.stalls = 0
         self.stall_time = 0.0
+
+        # Quiescence accounting (counted messages only).  Lives on the PE
+        # (not in O(P) kernel-side lists) so a sparse plane carries exactly
+        # as many counters as there are touched PEs.
+        self.counted_sent = 0
+        self.counted_processed = 0
 
         self._system: deque = deque()
         self._app: QueueStrategy = make_strategy(strategy_name)
@@ -202,3 +210,60 @@ class PEState:
 
     def has_work(self) -> bool:
         return self._queued > 0
+
+
+class PEPlane(dict):
+    """Lazily-materialized map of PE rank -> :class:`PEState`.
+
+    The kernel's PE plane used to be an eager ``List[PEState]`` of length
+    P — untenable at the roadmap's 10⁵–10⁶-PE machines when only a few
+    hundred PEs ever receive a message.  This is a ``dict`` subclass whose
+    only override is ``__missing__``: a present-key ``plane[i]`` lookup is
+    a plain C-speed dict hit (no Python-level ``__getitem__`` wrapper on
+    the per-message hot path), and the first touch of a rank materializes
+    its state on demand.  The key set *is* the touched set.
+
+    Out-of-range indices raise :class:`IndexError`, matching the list the
+    plane replaces.  ``plane.get(i)`` peeks without materializing.
+    """
+
+    __slots__ = ("num_pes", "strategy_name", "default_gated")
+
+    def __init__(
+        self,
+        num_pes: int,
+        strategy_name: str = "fifo",
+        *,
+        gated: bool = True,
+        dense: bool = False,
+    ) -> None:
+        super().__init__()
+        self.num_pes = num_pes
+        self.strategy_name = strategy_name
+        # Sparse-startup kernels skip the init broadcast, so their PEs are
+        # born with the startup gate already open.
+        self.default_gated = gated
+        if dense:
+            for index in range(num_pes):
+                self[index]
+
+    def __missing__(self, index: int) -> PEState:
+        if not 0 <= index < self.num_pes:
+            raise IndexError(
+                f"PE index {index} out of range [0, {self.num_pes})"
+            )
+        state = PEState(index, strategy_name=self.strategy_name)
+        if not self.default_gated:
+            state.gated = False
+        self[index] = state
+        return state
+
+    # Keys are insertion-ordered (first-touch order); the accessors below
+    # return index-sorted snapshots for deterministic enumeration.
+    def ranks(self) -> List[int]:
+        """Touched (materialized) ranks, index-sorted."""
+        return sorted(self)
+
+    def states(self) -> List[PEState]:
+        """Touched states, index-sorted."""
+        return [self[i] for i in sorted(self)]

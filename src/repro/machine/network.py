@@ -97,6 +97,10 @@ class Machine:
     #: machine so presets/descriptors can pin a backend and the kernel
     #: resolves it without extra plumbing.
     backend: str = ""
+    #: Sparse-startup preference: when True the kernel skips the O(P) init
+    #: broadcast and keeps all per-PE state O(active).  Same plumbing
+    #: pattern as ``backend`` (explicit Kernel argument wins).
+    sparse: bool = False
 
     # Mutable per-run state: shared-bus occupancy and per-link occupancy.
     _bus_free_at: float = field(default=0.0, repr=False)

@@ -204,13 +204,16 @@ MACHINE_PRESETS: Dict[str, Callable[[int], Machine]] = {
 }
 
 
-def make_machine(name: str, num_pes: int, backend: str = "") -> Machine:
+def make_machine(
+    name: str, num_pes: int, backend: str = "", sparse: bool = False
+) -> Machine:
     """Build a preset machine by name.
 
     ``backend`` optionally pins an engine backend (``"heap"`` or
     ``"batch"``) on the machine; the kernel picks it up unless the caller
     passes an explicit ``backend=`` of its own.  Empty string (default)
-    leaves the choice to the kernel.
+    leaves the choice to the kernel.  ``sparse`` pins sparse startup the
+    same way — the O(active) mode that makes P=10⁵–10⁶ machines practical.
     """
     try:
         factory = MACHINE_PRESETS[name]
@@ -221,4 +224,6 @@ def make_machine(name: str, num_pes: int, backend: str = "") -> Machine:
     machine = factory(num_pes)
     if backend:
         machine.backend = backend
+    if sparse:
+        machine.sparse = True
     return machine

@@ -23,10 +23,19 @@ lineage (Sinha & Kalé):
 
 QD wave messages are *uncounted* system traffic — the detector must not see
 its own probes.
+
+Sparse kernels (``kernel.sparse``) run each wave over a snapshot of the
+*touched* PE set only: the wave tree is rebuilt per wave over the k
+materialized ranks (virtual rank = position in the sorted snapshot), so a
+wave costs O(k) messages on a P=10⁶ machine with k active PEs.  A message
+in flight toward a not-yet-touched PE keeps the totals unbalanced (its
+send is counted, its processing is not), so the wave correctly retries;
+the next wave's snapshot includes the newly materialized rank.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.handles import ChareHandle
@@ -50,6 +59,9 @@ class QuiescenceService(Service):
         self._prev_totals: Optional[Tuple[int, int]] = None
         # (wave, pe) -> partial aggregation state
         self._agg: Dict[Tuple[int, int], dict] = {}
+        # Sparse mode: (sorted touched ranks, wave tree over them) snapshot
+        # for the *current* wave; rebuilt at each wave start.
+        self._wave_snap: Optional[Tuple[list, Any]] = None
         self.waves_run = 0
         self.detected_at: Optional[float] = None
         # Event id of the execution that scheduled the next wave timer;
@@ -84,6 +96,12 @@ class QuiescenceService(Service):
                 del self._agg[key]
         self.waves_run += 1
         kernel = self.kernel
+        if kernel.sparse:
+            # Snapshot the touched set: this wave enumerates exactly these
+            # k ranks via a same-shape tree of size k.  PE 0 is always
+            # touched (bootstrap), so ranks[0] == 0 and the root holds.
+            ranks = kernel.pes.ranks()
+            self._wave_snap = (ranks, type(kernel.tree)(len(ranks)))
         events = kernel._events
         if events is None:
             self.send(0, 0, "req", (self._wave,))
@@ -113,15 +131,26 @@ class QuiescenceService(Service):
 
         elif op == "req":
             (wave,) = args
-            children = kernel.tree.children(pe)
+            if kernel.sparse:
+                # Stale reqs from superseded waves must not fan out over
+                # the *current* snapshot (their folds are dropped anyway).
+                if wave != self._wave or self._wave_snap is None:
+                    return
+                ranks, wtree = self._wave_snap
+                children = [
+                    ranks[c] for c in wtree.children(bisect_left(ranks, pe))
+                ]
+            else:
+                children = kernel.tree.children(pe)
             for child in children:
                 self.send(pe, child, "req", (wave,))
+            state = kernel.pes[pe]
             self._fold(
                 wave,
                 pe,
-                kernel.counted_sent[pe],
-                kernel.counted_processed[pe],
-                not kernel.pes[pe].has_work(),
+                state.counted_sent,
+                state.counted_processed,
+                not state.has_work(),
             )
 
         elif op == "up":
@@ -135,6 +164,15 @@ class QuiescenceService(Service):
         if wave != self._wave:
             return  # straggler from a superseded wave: never mix totals
         kernel = self.kernel
+        if kernel.sparse:
+            ranks, wtree = self._wave_snap  # type: ignore[misc]
+            vrank = bisect_left(ranks, pe)
+            need = 1 + len(wtree.children(vrank))
+            vparent = wtree.parent(vrank)
+            parent = None if vparent is None else ranks[vparent]
+        else:
+            need = 1 + len(kernel.tree.children(pe))
+            parent = kernel.tree.parent(pe)
         key = (wave, pe)
         st = self._agg.get(key)
         if st is None:
@@ -143,7 +181,7 @@ class QuiescenceService(Service):
                 "processed": 0,
                 "idle": True,
                 "have": 0,
-                "need": 1 + len(kernel.tree.children(pe)),
+                "need": need,
             }
             self._agg[key] = st
         st["sent"] += sent
@@ -153,7 +191,6 @@ class QuiescenceService(Service):
         if st["have"] < st["need"]:
             return
         del self._agg[key]
-        parent = kernel.tree.parent(pe)
         if parent is not None:
             self.send(pe, parent, "up", (wave, st["sent"], st["processed"], st["idle"]))
             return
@@ -162,16 +199,25 @@ class QuiescenceService(Service):
     def _root_decide(self, sent: int, processed: int, idle: bool) -> None:
         kernel = self.kernel
         if sent < processed:
-            raise QuiescenceError(
-                f"QD accounting violated: processed {processed} > sent {sent}"
-            )
-        stable = idle and sent == processed
+            if not kernel.sparse:
+                raise QuiescenceError(
+                    f"QD accounting violated: processed {processed} > sent "
+                    f"{sent}"
+                )
+            # Sparse waves sample only the snapshot: a PE touched mid-wave
+            # can leave its sends out of the totals while a snapshot PE
+            # already processed them.  That is sampling skew, not an
+            # accounting violation — retry on the next (wider) snapshot.
+            stable = False
+        else:
+            stable = idle and sent == processed
         events = kernel._events
         if stable and self._prev_totals == (sent, processed):
             target, entry = self._callback  # type: ignore[misc]
             self._callback = None
             self._prev_totals = None
             self._agg.clear()
+            self._wave_snap = None
             self.detected_at = kernel.now
             self.work_end_at_detection = kernel.last_counted_exec_time
             if events is not None:

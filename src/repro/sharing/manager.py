@@ -22,6 +22,7 @@ Naming: all ops are small strings routed via SVC envelopes; see
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.handles import ChareHandle
@@ -74,6 +75,10 @@ class SharingService(Service):
         self._mono_dirty: Dict[Tuple[str, int], bool] = {}
         self._shards: Dict[Tuple[str, int], dict] = {}
         self._collect_id = 0
+        # Sparse accumulator collects: per-collect (ranks, virtual tree)
+        # snapshot of the touched set, keyed by the reduction tag.  Created
+        # when the request reaches PE 0, dropped when the fold completes.
+        self._collect_snap: Dict[str, Tuple[list, Any]] = {}
         self.mono_updates_sent = 0
         self.mono_updates_applied = 0
 
@@ -86,8 +91,8 @@ class SharingService(Service):
         if name in self._acc_spec:
             raise SharingError(f"accumulator {name!r} already declared")
         self._acc_spec[name] = (initial, op)
-        for pe in range(self.kernel.num_pes):
-            self._acc[(name, pe)] = _EMPTY
+        # Per-PE partials materialize on first touch (_acc_get); the
+        # declared initial lives on PE 0 only, exactly once.
         self._acc[(name, 0)] = initial
 
     def declare_monotonic(self, name: str, initial: Any, better, propagation: str) -> None:
@@ -97,27 +102,40 @@ class SharingService(Service):
             raise SharingError(
                 f"propagation must be eager/lazy/off, got {propagation!r}"
             )
+        # Untouched PEs read the spec initial via _mono_get — no O(P) fill.
         self._mono_spec[name] = (initial, better, propagation)
-        for pe in range(self.kernel.num_pes):
-            self._mono[(name, pe)] = initial
 
     def declare_table(self, name: str) -> None:
         if name in self._tables:
             raise SharingError(f"table {name!r} already declared")
         self._tables.add(name)
-        for pe in range(self.kernel.num_pes):
-            self._shards[(name, pe)] = {}
+
+    # ------------------------------------------------------- lazy per-PE state
+    def _acc_get(self, name: str, pe: int) -> Any:
+        """A PE's accumulator partial (_EMPTY default; initial on PE 0)."""
+        value = self._acc.get((name, pe), _EMPTY)
+        if value is _EMPTY and pe == 0:
+            return self._acc_spec[name][0]
+        return value
+
+    def _mono_get(self, name: str, pe: int) -> Any:
+        """A PE's cached monotonic value (spec initial until touched)."""
+        key = (name, pe)
+        value = self._mono.get(key, _EMPTY)
+        return self._mono_spec[name][0] if value is _EMPTY else value
 
     # ------------------------------------------------------------- accumulator
     def accumulate(self, name: str, value: Any, pe: int) -> None:
         spec = self._acc_spec.get(name)
         if spec is None:
             raise SharingError(f"unknown accumulator {name!r}")
-        self._acc[(name, pe)] = _acc_fold(spec[1])(self._acc[(name, pe)], value)
+        self._acc[(name, pe)] = _acc_fold(spec[1])(
+            self._acc_get(name, pe), value
+        )
 
     def accumulator_partial(self, name: str, pe: int) -> Any:
         """This PE's partial, or the declared initial if it has none."""
-        value = self._acc[(name, pe)]
+        value = self._acc_get(name, pe)
         return self._acc_spec[name][0] if value is _EMPTY else value
 
     def collect_accumulator(
@@ -136,7 +154,7 @@ class SharingService(Service):
         if spec is None:
             raise SharingError(f"unknown monotonic variable {name!r}")
         _, better, propagation = spec
-        if not improves(better, value, self._mono[(name, pe)]):
+        if not improves(better, value, self._mono_get(name, pe)):
             return
         self._mono[(name, pe)] = value
         self.mono_updates_applied += 1
@@ -149,9 +167,24 @@ class SharingService(Service):
     def read_monotonic(self, name: str, pe: int) -> Any:
         if name not in self._mono_spec:
             raise SharingError(f"unknown monotonic variable {name!r}")
-        return self._mono[(name, pe)]
+        return self._mono_get(name, pe)
 
     def _neighbors_in_tree(self, pe: int):
+        kernel = self.kernel
+        if kernel.sparse:
+            # Flood over the currently-touched set only: a virtual tree of
+            # the k active ranks.  The improves() guard makes relaying
+            # idempotent, so floods terminate even as the set grows; PEs
+            # materialized after a flood pick the value up from later
+            # improvements (same sampling caveat as sparse quiescence).
+            ranks = kernel.pes.ranks()
+            wtree = type(kernel.tree)(len(ranks))
+            vrank = bisect_left(ranks, pe)
+            out = [ranks[c] for c in wtree.children(vrank)]
+            vparent = wtree.parent(vrank)
+            if vparent is not None:
+                out.append(ranks[vparent])
+            return out
         out = list(self.kernel.tree.children(pe))
         parent = self.kernel.tree.parent(pe)
         if parent is not None:
@@ -159,7 +192,7 @@ class SharingService(Service):
         return out
 
     def _flood(self, name: str, pe: int, exclude: Optional[int]) -> None:
-        value = self._mono[(name, pe)]
+        value = self._mono_get(name, pe)
         for nb in self._neighbors_in_tree(pe):
             if nb != exclude:
                 self.mono_updates_sent += 1
@@ -203,7 +236,9 @@ class SharingService(Service):
 
     def shard(self, table: str, pe: int) -> dict:
         """Direct (test/diagnostic) view of a table shard."""
-        return self._shards[(table, pe)]
+        if table not in self._tables:
+            raise KeyError((table, pe))
+        return self._shards.setdefault((table, pe), {})
 
     # ----------------------------------------------------------------- handlers
     def handle(self, pe: int, op: str, args: tuple) -> None:
@@ -233,8 +268,13 @@ class SharingService(Service):
 
         elif op == "red_up":
             boc_id, tag, value, rop, target, entry, mode = args
-            kernel._reduce_fold(boc_id, tag, pe, value, rop, target, entry,
-                                own=False, mode=mode)
+            # boc_id -1 marks accumulator collects; only those carry a
+            # sparse snapshot (BOC reductions span all P branches).
+            span = self._collect_snap.get(tag) if boc_id == -1 else None
+            done = kernel._reduce_fold(boc_id, tag, pe, value, rop, target,
+                                       entry, own=False, mode=mode, span=span)
+            if done and span is not None:
+                self._collect_snap.pop(tag, None)
 
         elif op == "wonce_bcast":
             name, value = args
@@ -245,18 +285,35 @@ class SharingService(Service):
 
         elif op == "acc_req":
             name, cid, target, entry = args
-            for child in kernel.tree.children(pe):
-                self.send(pe, child, "acc_req", args, counted=True)
+            tag = f"acc:{name}:{cid}"
+            span = None
+            if kernel.sparse:
+                # Gather over the touched set only.  The request reaches
+                # PE 0 first, which snapshots the k active ranks; untouched
+                # PEs hold _EMPTY and contribute nothing by construction.
+                span = self._collect_snap.get(tag)
+                if span is None:
+                    ranks = kernel.pes.ranks()
+                    span = self._collect_snap[tag] = (
+                        ranks, type(kernel.tree)(len(ranks)))
+                ranks, wtree = span
+                for child in wtree.children(bisect_left(ranks, pe)):
+                    self.send(pe, ranks[child], "acc_req", args, counted=True)
+            else:
+                for child in kernel.tree.children(pe):
+                    self.send(pe, child, "acc_req", args, counted=True)
             _initial, aop = self._acc_spec[name]
-            kernel._reduce_fold(
-                -1, f"acc:{name}:{cid}", pe, self._acc[(name, pe)],
-                _acc_fold(aop), target, entry, own=True,
+            done = kernel._reduce_fold(
+                -1, tag, pe, self._acc_get(name, pe),
+                _acc_fold(aop), target, entry, own=True, span=span,
             )
+            if done and span is not None:
+                self._collect_snap.pop(tag, None)
 
         elif op == "mono_update":
             name, value, src = args
             _, better, _prop = self._mono_spec[name]
-            if improves(better, value, self._mono[(name, pe)]):
+            if improves(better, value, self._mono_get(name, pe)):
                 self._mono[(name, pe)] = value
                 self.mono_updates_applied += 1
                 self._flood(name, pe, exclude=src)
@@ -264,20 +321,22 @@ class SharingService(Service):
         elif op == "tbl_insert":
             kernel.api_charge(_TABLE_WORK)
             table, key, value, reply_to, reply_entry = args
-            self._shards[(table, pe)][key] = value
+            self._shards.setdefault((table, pe), {})[key] = value
             if reply_to is not None:
                 kernel.send_app_from_service(pe, reply_to, reply_entry, (key,))
 
         elif op == "tbl_find":
             kernel.api_charge(_TABLE_WORK)
             table, key, reply_to, reply_entry = args
-            value = self._shards[(table, pe)].get(key)
+            value = self._shards.get((table, pe), {}).get(key)
             kernel.send_app_from_service(pe, reply_to, reply_entry, (key, value))
 
         elif op == "tbl_delete":
             kernel.api_charge(_TABLE_WORK)
             table, key = args
-            self._shards[(table, pe)].pop(key, None)
+            shard = self._shards.get((table, pe))
+            if shard is not None:
+                shard.pop(key, None)
 
         else:  # pragma: no cover - defensive
             raise SharingError(f"unknown sharing op {op!r}")

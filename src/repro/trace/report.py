@@ -84,7 +84,19 @@ class TraceReport:
     def from_kernel(cls, kernel) -> "TraceReport":
         t = kernel.now
         rows = []
-        for pe in kernel.pes:
+        plane = kernel.pes
+        if kernel.sparse:
+            # Sparse kernels report the *touched* PEs only: a P=10⁶ run
+            # with k active PEs emits k rows, and the per-row aggregates
+            # below (mean utilization, imbalance, idle) are over the
+            # active set — the meaningful denominator at that scale.
+            pe_states = plane.states()
+        else:
+            # Dense view: materializing any never-touched stragglers (an
+            # early-exit run can leave some) yields all-zero counters,
+            # byte-identical to the historical eager rows.
+            pe_states = [plane[i] for i in range(kernel.num_pes)]
+        for pe in pe_states:
             rows.append(
                 PERow(
                     pe=pe.index,
@@ -133,8 +145,8 @@ class TraceReport:
             balancer=getattr(kernel.balancer, "strategy_name", "?"),
             total_time=t,
             pe_rows=rows,
-            counted_sent=sum(kernel.counted_sent),
-            counted_processed=sum(kernel.counted_processed),
+            counted_sent=sum(s.counted_sent for s in pe_states),
+            counted_processed=sum(s.counted_processed for s in pe_states),
             total_message_hops=kernel.total_message_hops,
             qd_waves=kernel.qd.waves_run,
             qd_detected_at=kernel.qd.detected_at,

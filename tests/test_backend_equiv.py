@@ -321,7 +321,7 @@ def _fingerprint(answer, result) -> dict:
                 pe.seeds_created,
                 pe.max_queued,
             )
-            for pe in k.pes
+            for pe in (k.pes[i] for i in range(k.num_pes))
         ),
     }
 

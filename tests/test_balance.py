@@ -104,7 +104,7 @@ def test_all_balancers_single_pe():
 def test_note_load_piggyback_updates_table():
     _, kernel = _run("acwn", n=32)
     bal = kernel.balancer
-    known_entries = sum(len(d) for d in bal.known)
+    known_entries = sum(len(d) for d in bal.known.values())
     assert known_entries > 0
 
 

@@ -90,6 +90,28 @@ def test_t9_latency_nonnegative_and_bounded(results):
         assert row["waves"] >= 2
 
 
+def test_t11_sparse_scale_curve_is_flat(results):
+    d = results["t11"].data
+    for app, series in d["apps"].items():
+        times = [row["time"] for row in series]
+        touched = [row["touched"] for row in series]
+        # Virtual time is essentially P-independent (the sparse machine
+        # adds no per-rank cost) and the touched set never tracks P.
+        assert max(times) <= min(times) * 1.1, f"{app} vtime grew with P"
+        for p, k in zip(d["pes"], touched):
+            assert k < p, f"{app} touched every rank at P={p}"
+        assert max(touched) <= min(touched) * 2, f"{app} touched grew with P"
+
+
+def test_s5_serving_latency_independent_of_farm_size(results):
+    d = results["s5"].data
+    p99s = [row["p99"] for row in d["series"]]
+    assert max(p99s) <= min(p99s) * 1.2, "p99 depends on sparse farm size"
+    for pes, row in zip(d["pes"], d["series"]):
+        assert row["completed"] == row["offered"]
+        assert row["touched"] <= d["count"] + 2
+
+
 def test_f1_series_complete(results):
     data = results["f1"].data
     assert any(k.startswith("queens@") for k in data)

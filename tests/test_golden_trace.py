@@ -125,7 +125,9 @@ def _fingerprint(answer, result) -> dict:
                 "seeds_created": pe.seeds_created,
                 "max_queued": pe.max_queued,
             }
-            for pe in k.pes
+            # Dense iteration: materializing an untouched rank yields the
+            # same all-zero counters the old eager list carried.
+            for pe in (k.pes[i] for i in range(k.num_pes))
         ],
     }
 

@@ -1,0 +1,352 @@
+"""Sparse-PE plane: O(active) state, bit-identity, and scale smoke tests.
+
+The sparse-PE work (PR 8) replaces the kernel's eager per-PE list with a
+lazily-materialized :class:`~repro.core.pe.PEPlane` and moves every
+global structure (quiescence counters, balancer tables, sharing state)
+to default-on-touch form.  These tests pin the three claims that make
+that refactor safe and worthwhile:
+
+* **equivalence** — a lazy plane is observationally identical to a dense
+  one (randomized app x preset x balancer x queueing x faults x tracing
+  draws, full fingerprints including event records);
+* **bit-identity across backends** — sparse-mode runs match between
+  HeapBackend and BatchBackend exactly, like dense runs always have;
+* **O(active) scale** — a P=10⁵–10⁶ machine touches only the active
+  ranks: resident state, wall time and memory all scale with k, not P.
+
+Plus unit coverage for PEPlane itself, a randomized oracle test pinning
+the CentralBalancer's O(log P) heap against the historical O(P) scan,
+and a regression test for the metrics sampler's utilization denominator
+on sparse traces.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from types import SimpleNamespace
+
+import pytest
+
+from repro.apps.fib import run_fib
+from repro.apps.histogram import run_histogram
+from repro.apps.nqueens import run_nqueens
+from repro.apps.tree import TreeParams, run_tree
+from repro.apps.tsp import TspInstance, run_tsp
+from repro.core.kernel import Kernel
+from repro.core.pe import PEPlane, PEState
+from repro.faults import FaultConfig
+from repro.machine.presets import make_machine
+from repro.metrics import sample_metrics
+from repro.trace.report import TraceReport
+from repro.util.rng import RngStream
+
+
+# ---------------------------------------------------------------- PEPlane unit
+def test_peplane_lazy_materialization():
+    plane = PEPlane(1000, "fifo")
+    assert len(plane) == 0
+    state = plane[37]
+    assert isinstance(state, PEState)
+    assert state.index == 37
+    assert state.gated  # dense-mode default: born gated
+    assert len(plane) == 1
+    assert plane[37] is state  # second lookup hits the same object
+    assert plane.ranks() == [37]
+    assert plane.states() == [state]
+
+
+def test_peplane_get_peeks_without_materializing():
+    plane = PEPlane(100, "fifo")
+    assert plane.get(5) is None
+    assert len(plane) == 0  # peeking must not touch
+    plane[5]
+    assert plane.get(5) is not None
+
+
+def test_peplane_out_of_range_raises_indexerror():
+    plane = PEPlane(8, "fifo")
+    with pytest.raises(IndexError):
+        plane[8]
+    with pytest.raises(IndexError):
+        plane[-1]
+    assert len(plane) == 0
+
+
+def test_peplane_dense_prefill_and_gating():
+    dense = PEPlane(16, "fifo", dense=True)
+    assert len(dense) == 16
+    assert dense.ranks() == list(range(16))
+    sparse = PEPlane(16, "fifo", gated=False)
+    assert not sparse[3].gated  # sparse kernels birth PEs ungated
+
+
+# ------------------------------------------------------- dense/lazy equivalence
+def _fingerprint(answer, result) -> dict:
+    """Everything observable: result, times, events, per-PE counters."""
+    k = result.kernel
+    return {
+        "result": repr(answer),
+        "time": float(result.time).hex(),
+        "events": result.events,
+        "truncated": result.truncated,
+        "counted_sent": tuple(k.counted_sent),
+        "counted_processed": tuple(k.counted_processed),
+        "total_message_hops": k.total_message_hops,
+        "pes": tuple(
+            (
+                float(pe.busy_time).hex(),
+                pe.msgs_executed,
+                pe.seeds_executed,
+                pe.system_executed,
+                pe.msgs_sent,
+                pe.bytes_sent,
+                pe.seeds_created,
+                pe.max_queued,
+            )
+            for pe in (k.pes[i] for i in range(k.num_pes))
+        ),
+        "trace": (None if k.events is None
+                  else tuple(map(repr, k.events.as_records()))),
+    }
+
+
+_RUNNERS = {
+    "fib": lambda machine, common: run_fib(
+        machine, n=12, threshold=5, **common
+    ),
+    "queens": lambda machine, common: run_nqueens(
+        machine, n=6, grainsize=2, **common
+    ),
+    "tree": lambda machine, common: run_tree(
+        machine, TreeParams(seed=5, max_depth=6), **common
+    ),
+    "histogram": lambda machine, common: run_histogram(
+        machine, items=64, workers=5, **common
+    ),
+}
+
+
+def _run(app, machine_name, pes, common, **kernel_kwargs):
+    machine = make_machine(machine_name, pes)
+    answer, result = _RUNNERS[app](machine, dict(common, **kernel_kwargs))
+    return _fingerprint(answer, result)
+
+
+def test_randomized_dense_vs_lazy_equivalence():
+    """A lazily-materialized plane must be invisible: random draws over
+    app x preset x balancer x queueing x faults x tracing compare a
+    ``dense_pes=True`` run (the historical eager memory profile) against
+    the default lazy plane, bit for bit."""
+    rng = RngStream(1991, "sparse-equiv")
+    apps = sorted(_RUNNERS)
+    machines = ["symmetry", "multimax", "ipsc2", "ncube2", "cluster",
+                "ideal", "hetero"]
+    balancers = ["random", "acwn", "token", "central", "roundrobin"]
+    queueings = ["fifo", "lifo", "prio", "bitprio"]
+    fault_draws = [None, FaultConfig(jitter=3e-6),
+                   FaultConfig(drop_prob=0.05, ack_timeout=2e-3)]
+    for draw in range(8):
+        app = apps[rng.randint(0, len(apps) - 1)]
+        machine_name = machines[rng.randint(0, len(machines) - 1)]
+        common = dict(
+            balancer=balancers[rng.randint(0, len(balancers) - 1)],
+            queueing=queueings[rng.randint(0, len(queueings) - 1)],
+            seed=rng.randint(0, 10_000),
+        )
+        kw = {}
+        faults = fault_draws[rng.randint(0, len(fault_draws) - 1)]
+        if faults is not None:
+            kw["faults"] = faults
+        if rng.randint(0, 1):
+            kw["trace_events"] = "all"
+        dense_fp = _run(app, machine_name, 8, common, dense_pes=True, **kw)
+        lazy_fp = _run(app, machine_name, 8, common, **kw)
+        assert dense_fp == lazy_fp, (
+            f"draw {draw}: {app}@{machine_name} {common} {sorted(kw)} diverged"
+        )
+
+
+def test_sparse_mode_backend_bit_identity():
+    """Sparse runs must match between heap and batch backends exactly,
+    including the sparse quiescence waves and accumulator collects."""
+    cases = [
+        ("fib", dict(n=14, threshold=6), {}),
+        ("tree", dict(params=TreeParams(seed=7, max_depth=7)), {}),
+        ("queens", dict(n=6, grainsize=2), dict(balancer="central")),
+    ]
+    for app, app_kw, over in cases:
+        fps = {}
+        for backend in ("heap", "batch"):
+            machine = make_machine("cluster", 10_000, backend=backend,
+                                   sparse=True)
+            common = {"balancer": "random", "queueing": "fifo", "seed": 3,
+                      **over}
+            if app == "fib":
+                ans, res = run_fib(machine, app_kw["n"],
+                                   threshold=app_kw["threshold"], **common)
+            elif app == "tree":
+                ans, res = run_tree(machine, app_kw["params"], **common)
+            else:
+                ans, res = run_nqueens(machine, n=app_kw["n"],
+                                       grainsize=app_kw["grainsize"], **common)
+            k = res.kernel
+            fps[backend] = (
+                repr(ans), float(res.time).hex(), res.events,
+                tuple(sorted(k.pes)),
+                tuple((s.index, s.msgs_executed, s.counted_sent,
+                       s.counted_processed) for s in k.pes.states()),
+            )
+        assert fps["heap"] == fps["batch"], f"{app} sparse diverged"
+
+
+# ----------------------------------------------------------- O(active) scaling
+def test_sparse_p100k_touches_only_active_ranks():
+    machine = make_machine("cluster", 100_000, sparse=True)
+    ans, res = run_fib(machine, n=14, threshold=6, balancer="random", seed=0)
+    k = res.kernel
+    assert ans == 377
+    touched = len(k.pes)
+    assert touched < 1_000, f"sparse fib touched {touched} of 100k PEs"
+    # Global structures scale with the touched set, not with P.
+    assert len(k.counted_sent) == 100_000  # compat property is still dense
+    assert sum(len(row) for row in k.balancer.known.values()) < 10_000
+    report = TraceReport.from_kernel(k)
+    assert len(report.pe_rows) == touched
+
+
+def test_sparse_quiescence_and_collect_stay_sparse():
+    """QD waves and accumulator gathers enumerate the touched set only —
+    the event count must be orders of magnitude below P."""
+    machine = make_machine("cluster", 100_000, sparse=True)
+    ans, res = run_tree(machine, TreeParams(seed=7, max_depth=7),
+                        balancer="random", seed=1)
+    k = res.kernel
+    assert ans == (56, 31)  # structural answer: QD + collect completed
+    assert len(k.pes) < 1_000
+    assert res.events < 10_000  # full-P collectives would exceed 100k
+    # tsp adds monotonic floods (eager) on top of QD + collects.
+    inst = TspInstance.random(7, seed=11)
+    machine = make_machine("cluster", 100_000, sparse=True)
+    ans, res = run_tsp(machine, inst, grain=4, balancer="random",
+                       queueing="prio", seed=4)
+    assert len(res.kernel.pes) < 1_000
+    assert res.events < 10_000
+
+
+def test_sparse_p1m_memory_is_o_active():
+    """Constructing and running a P=10⁶ kernel must allocate O(k), not
+    O(P): the historical eager plane alone was hundreds of MB here."""
+    tracemalloc.start()
+    try:
+        base = tracemalloc.get_traced_memory()[0]
+        machine = make_machine("cluster", 1_000_000, sparse=True)
+        ans, res = run_fib(machine, n=14, threshold=6, balancer="random",
+                           seed=0)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    assert ans == 377
+    k = res.kernel
+    assert len(k.pes) < 1_000
+    # Generous ceiling: the run allocates a few MB; an eager P=1M plane
+    # (~1 KB per PEState with its queues) would blow far past this.
+    assert peak - base < 64 * 1024 * 1024, f"peak {peak - base} bytes"
+    # Sharing/balancer state is touched-only too.
+    share = k.services["share"]
+    assert len(share._acc) + len(share._mono) < 4_000
+    assert len(k.balancer.known) < 4_000
+
+
+# -------------------------------------------------- CentralBalancer heap oracle
+class _ScanOracle:
+    """The historical O(P) argmin scan, kept as the behavioral reference."""
+
+    def __init__(self, num_pes):
+        self.num_pes = num_pes
+        self.known = {}        # subject -> load as seen by the manager
+        self.outstanding = {}  # subject -> optimistic in-flight count
+
+    def note_load(self, subject, load):
+        self.known[subject] = load
+        self.outstanding[subject] = 0
+
+    def place(self, manager_local_load):
+        best = 0
+        best_est = manager_local_load + self.outstanding.get(0, 0)
+        for cand in range(1, self.num_pes):
+            est = self.known.get(cand, 0) + self.outstanding.get(cand, 0)
+            if est < best_est:
+                best, best_est = cand, est
+        self.outstanding[best] = self.outstanding.get(best, 0) + 1
+        return best
+
+
+def test_central_heap_matches_bruteforce_scan():
+    """Randomized oracle: the O(log P) lazy-heap placement must reproduce
+    the historical O(P) scan decision for decision, including the
+    lowest-index tie-break."""
+    rng = RngStream(7, "central-oracle")
+    for trial, P in enumerate([16, 257, 4096]):
+        kernel = Kernel(make_machine("ideal", P), balancer="central")
+        bal = kernel.balancer
+        oracle = _ScanOracle(P)
+        env = SimpleNamespace(hops=0)
+        for step in range(400):
+            if rng.randint(0, 2):  # 2/3 load reports, 1/3 placements
+                subject = rng.randint(1, min(P, 64) - 1)
+                load = rng.randint(0, 5)
+                bal.note_load(0, subject, load)
+                oracle.note_load(subject, load)
+            else:
+                got = bal.on_seed_arrival(0, env)
+                got = 0 if got is None else got
+                want = oracle.place(bal.local_load(0))
+                assert got == want, (
+                    f"P={P} step={step}: heap placed {got}, scan {want}"
+                )
+
+
+def test_central_placement_is_sublinear():
+    """Sanity on the satellite's point: placements at P=10k must not be
+    dramatically slower than at P=100 (the old scan was ~100x)."""
+    import time
+
+    def run_placements(P, n=300):
+        kernel = Kernel(make_machine("ideal", P), balancer="central")
+        bal = kernel.balancer
+        env = SimpleNamespace(hops=0)
+        rng = RngStream(1, f"place-{P}")
+        t0 = time.perf_counter()
+        for _ in range(n):
+            bal.note_load(0, rng.randint(1, 63), rng.randint(0, 5))
+            bal.on_seed_arrival(0, env)
+        return time.perf_counter() - t0
+
+    run_placements(100)  # warm up allocator / bytecode caches
+    t_small, t_big = run_placements(100), run_placements(10_000)
+    # The old O(P) scan made this ratio ~100; allow generous noise.
+    assert t_big < t_small * 20, f"P=10k/{t_big:.4f}s vs P=100/{t_small:.4f}s"
+
+
+# --------------------------------------------------------------- sampler denom
+def _exec_record(eid, t, pe, dur):
+    return {"eid": eid, "kind": "exec_end", "t": t, "pe": pe, "dur": dur,
+            "uid": eid, "parent": None, "info": None}
+
+
+def test_sampler_num_pes_inferred_vs_explicit():
+    """On a sparse machine where only low ranks were touched, inferring
+    ``num_pes`` as ``max_pe + 1`` overstates utilization; an explicit
+    machine P must scale it down proportionally."""
+    # Two PEs (0 and 3) busy the whole [0, 1.0] span on a 100-PE machine.
+    records = [
+        _exec_record(1, 1.0, 0, 1.0),
+        _exec_record(2, 1.0, 3, 1.0),
+    ]
+    inferred = sample_metrics(records, buckets=1)
+    explicit = sample_metrics(records, buckets=1, num_pes=100)
+    assert inferred[0]["util"] == pytest.approx(2.0 / 4.0)  # max_pe+1 == 4
+    assert explicit[0]["util"] == pytest.approx(2.0 / 100.0)
+    assert explicit[0]["util"] < inferred[0]["util"]
+    with pytest.raises(ValueError):
+        sample_metrics(records, buckets=1, num_pes=0)
