@@ -32,6 +32,13 @@ class Balancer(Service):
 
     name = "lb"
     strategy_name = "local"
+    # Whether the strategy ever *reads* the piggybacked neighbor-load table
+    # (``known`` / ``known_load``).  The base ``note_load`` writes the table
+    # on every cross-PE arrival; strategies that never consult it (purely
+    # stateless placement) set this False so the kernel can skip the write
+    # entirely on the per-message hot path.  Strategies that override
+    # ``note_load`` are called regardless of this flag.
+    uses_known_table = True
 
     def bind(self, kernel) -> None:
         super().bind(kernel)

@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench.perf --label after-hot-path   # record an entry
     python -m repro.bench.perf --check                  # regression guard
     python -m repro.bench.perf --backend batch ...      # batch-lane pass
+    python -m repro.bench.perf --profile                # cProfile hot paths
 
 ``--check`` re-measures and fails (exit 1) if events/s or messages/s fall
 more than ``--tolerance`` (default 30%) below the most recent recorded
@@ -40,7 +41,7 @@ from datetime import datetime, timezone
 from typing import Callable, Dict
 
 __all__ = ["measure_throughput", "measure_exp_wall", "record", "check",
-           "host_context", "DEFAULT_PATH"]
+           "profile_hot_paths", "host_context", "DEFAULT_PATH"]
 
 DEFAULT_PATH = "BENCH_sim_throughput.json"
 
@@ -52,12 +53,16 @@ DEFAULT_PATH = "BENCH_sim_throughput.json"
 #: ``engine_events_per_s_p100k`` guards the sparse-PE plane: a full
 #: kernel run on a 100,000-PE machine, impossible before per-PE state
 #: became O(active) — any O(P) term creeping back into startup, delivery
-#: or teardown shows up here first.
+#: or teardown shows up here first.  ``serving_requests_per_s`` guards the
+#: S-series serving stack (open-loop arrivals, per-request tracing, the
+#: latency analyzer): the turn/bundling lanes bail out of exactly these
+#: shapes, so a botched bail-out condition shows up here, not in the
+#: kernel microbenchmarks.
 GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
                    "kernel_seeds_per_s", "pool_prio_ops_per_s",
                    "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s",
                    "engine_batch_events_per_s", "kernel_batch_seeds_per_s",
-                   "engine_events_per_s_p100k")
+                   "engine_events_per_s_p100k", "serving_requests_per_s")
 
 
 # --------------------------------------------------------------- measurement
@@ -308,9 +313,11 @@ def _serving_requests() -> int:
 
     Exercises the open-loop arrival path (timed sends), per-request
     tracing with the minimal serving kind set, and the trace-walking
-    latency analyzer — the full S-series stack.  Informational only: the
-    trace-analysis share makes it noisier than the guarded kernel
-    metrics, so it is deliberately NOT in GUARDED_METRICS.
+    latency analyzer — the full S-series stack.  Guarded: the serving
+    shape is exactly what the turn/bundling fast lanes must *bail out*
+    of (timed sends, tracing), so this is the regression tripwire for
+    the bail-out conditions; the noisier trace-analysis share is why
+    its --check tolerance is the shared 30%, not tighter.
     """
     from repro import make_machine
     from repro.apps.serving import run_serving
@@ -409,6 +416,36 @@ def host_context(backend: str = "heap") -> Dict[str, object]:
         load_1m = None
     return {"cpu_count": os.cpu_count(), "load_avg_1m": load_1m,
             "backend": backend}
+
+
+# ---------------------------------------------------------------- profiling
+def profile_hot_paths(backend: str = "heap", sort: str = "tottime",
+                      limit: int = 25, rounds: int = 3) -> None:
+    """cProfile the tracked kernel cohort workloads; print a pstats table.
+
+    Profiles exactly the runs the guarded ``kernel_msgs_per_s`` /
+    ``kernel_seeds_per_s`` metrics time (PingPong message chain, Fanout
+    seed burst), so the rows map one-to-one onto the throughput numbers:
+    when a guarded metric drops, ``--profile`` names the frame that ate
+    it.  Output goes to stdout; nothing is recorded in the artifact.
+    """
+    import cProfile
+    import pstats
+
+    msgs = _kernel_messages(backend)
+    seeds = _seed_fanout(8, backend)
+    # Warm-up pass outside the profile: import cost and bytecode caches
+    # would otherwise dominate the table.
+    msgs()
+    seeds()
+    prof = cProfile.Profile()
+    prof.enable()
+    for _ in range(rounds):
+        msgs()
+        seeds()
+    prof.disable()
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(sort).print_stats(limit)
 
 
 # ------------------------------------------------- experiment-suite wall time
@@ -544,6 +581,15 @@ def main(argv=None) -> int:
                     help="regression-guard mode: compare against last entry")
     ap.add_argument("--tolerance", type=float, default=0.30,
                     help="allowed fractional drop in --check mode")
+    ap.add_argument("--profile", action="store_true",
+                    help="cProfile the tracked kernel workloads (PingPong "
+                    "messages, Fanout seeds) and print a pstats table "
+                    "instead of recording metrics")
+    ap.add_argument("--profile-sort", default="tottime",
+                    choices=["tottime", "cumulative", "ncalls"],
+                    help="pstats sort key for --profile (default: tottime)")
+    ap.add_argument("--profile-limit", type=int, default=25,
+                    help="rows to print in --profile mode (default: 25)")
     ap.add_argument("--exp-wall", action="store_true",
                     help="record experiment-suite wall time "
                     "(serial vs --exp-jobs vs warm cache) instead of the "
@@ -558,6 +604,10 @@ def main(argv=None) -> int:
                     "batch entries use *_batch_* metric names and are "
                     "baselined only against other batch entries")
     args = ap.parse_args(argv)
+    if args.profile:
+        profile_hot_paths(args.backend, args.profile_sort,
+                          args.profile_limit)
+        return 0
     if args.check:
         return 0 if check(args.output, args.tolerance,
                           backend=args.backend) else 1

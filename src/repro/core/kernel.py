@@ -36,7 +36,9 @@ from types import FunctionType as _FunctionType
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.chare import BranchOfficeChare, Chare, is_entry
-from repro.core.handles import BocHandle, ChareHandle
+from repro.core.handles import BocHandle, ChareHandle, mint_chare_handle
+from repro.core.messages import _FREE_CAP as _ENV_FREE_CAP
+from repro.core.messages import _free as _env_free
 from repro.core.messages import Envelope, Kind
 from repro.core.pe import PEPlane, PEState
 from repro.core.services import Service
@@ -67,7 +69,7 @@ _SVC = Kind.SVC
 class ExecContext:
     """State of one in-progress entry-method execution."""
 
-    __slots__ = ("pe", "start", "charged", "outbox", "system")
+    __slots__ = ("pe", "start", "charged", "outbox", "system", "direct")
 
     def __init__(self, pe: int, start: float, system: bool) -> None:
         self.pe = pe
@@ -76,6 +78,10 @@ class ExecContext:
         # (charged_units_at_send, envelope) pairs; offsets resolved at end.
         self.outbox: List[Tuple[float, Envelope]] = []
         self.system = system
+        # Set when this execution scheduled an engine event directly
+        # (api_send_at, cross-PE service sends): per-event scheduling is
+        # then observable, so the turn lane must not elide the completion.
+        self.direct = False
 
 
 @dataclass
@@ -111,6 +117,7 @@ class Kernel:
         backend: Optional[str] = None,
         sparse: Optional[bool] = None,
         dense_pes: bool = False,
+        turn_loop: Optional[bool] = None,
     ) -> None:
         from repro.sim.backend import make_backend  # local: keep core light
         from repro.balance import make_balancer
@@ -147,12 +154,14 @@ class Kernel:
         # Pre-bound hot-path callbacks: schedule_call takes fn+payload, and
         # binding these once means no per-event bound-method allocation.
         self._arrive_cb = self._arrive
+        self._arrive_many_cb = self._arrive_many
         self._finish_cb = self._finish
         self._schedule_call = self.engine.schedule_call
-        # (class, entry_name) -> validated plain function; _invoke calls
+        # class -> {entry_name -> validated plain function}; _invoke calls
         # fn(obj, *args) without re-running getattr + @entry checks per
-        # message.
-        self._entry_cache: Dict[Tuple[type, str], Callable] = {}
+        # message.  Nested (not (class, name)-keyed): the per-message
+        # lookup is then two pointer-hash probes with no tuple allocation.
+        self._entry_cache: Dict[type, Dict[str, Callable]] = {}
         self.rng = RngStream(seed, "kernel")
         self.seed = seed
         self.queueing = queueing
@@ -188,9 +197,10 @@ class Kernel:
         # is modeled free), PEs are born ungated, and global operations
         # (quiescence waves, accumulator collects, monotonic floods,
         # reports) enumerate only the *touched* set — the O(active) regime
-        # that makes P=10⁵–10⁶ machines practical.  BOC collectives
-        # (create/broadcast/reduce, write-once) still walk all P ranks;
-        # large-P workloads avoid them.
+        # that makes P=10⁵–10⁶ machines practical.  BOC collectives run
+        # over a write-once span of the ranks touched at creation time
+        # (see boc_spans below), so create/broadcast/reduce are O(active)
+        # too.
         self.sparse = machine.sparse if sparse is None else sparse
         # The PE plane materializes a PEState on first delivery; untouched
         # ranks cost nothing.  dense_pes pre-materializes all P (the
@@ -220,12 +230,13 @@ class Kernel:
             faults.bind(self)
             self.faults = faults
         self._faults = self.faults
-        # Outbox burst lane: only the batch backend profits from grouped
-        # bulk scheduling, and the fault/tracing hooks need per-envelope
-        # control, so the lane is enabled once per run, not per flush.
+        # Outbox burst lane: grouped bulk scheduling of a flush.  The fault
+        # and tracing hooks need per-envelope control, so the lane is
+        # enabled once per run, not per flush.  (Originally batch-only; the
+        # heap backend's schedule_calls pushes the same (time, seq) order a
+        # per-envelope loop would, so both backends profit bit-identically.)
         self._burst_ok = (
-            self.backend_name == "batch"
-            and self._faults is None
+            self._faults is None
             and self._events is None
         )
         # Quiescence accounting lives on the PEStates (counted_sent /
@@ -254,6 +265,11 @@ class Kernel:
         self._premature: Dict[int, List[Envelope]] = {}
 
         self.bocs: Dict[int, Dict[int, BranchOfficeChare]] = {}
+        # Sparse BOC plane: boc_id -> (sorted_ranks, rank_set, virtual_tree)
+        # snapshotted once when the create message reaches the tree root —
+        # the write-once span every later broadcast/reduction for that BOC
+        # walks instead of all P ranks.  Always empty in dense mode.
+        self.boc_spans: Dict[int, Tuple[List[int], frozenset, Any]] = {}
         self._next_boc = 0
         self._boc_premature: Dict[Tuple[int, int], List[Envelope]] = {}
         self._reductions: Dict[Tuple[int, str, int], dict] = {}
@@ -283,6 +299,69 @@ class Kernel:
         self._seed_hook_is_base = (
             balancer_cls.on_seed_arrival is Balancer.on_seed_arrival
         )
+        # _arrive calls note_load either always (overridden hook) or only
+        # for cross-PE messages whose strategy actually reads the ``known``
+        # table the base hook maintains; stateless strategies skip the
+        # table write entirely (one dict store per remote message).
+        self._note_always = not self._note_load_is_base
+        self._note_cross = (
+            self._note_load_is_base and balancer_cls.uses_known_table
+        )
+
+        # Run-to-completion turn lane (docs/architecture.md "Execution turn
+        # loop"): when an execution ends with a zero-length busy window and
+        # its PE's queue is non-empty at that instant, the next envelope is
+        # executed inline instead of bouncing through a separate _finish
+        # event.  The lane is enabled once per run; it stays off whenever
+        # per-event scheduling is observable (faults, tracing, timelines,
+        # shared-media contention) so those paths are bit-identical to the
+        # historical event-per-completion schedule.
+        # A turn reorders same-timestamp work relative to the scalar
+        # event-per-completion schedule, so it is only armed when nothing
+        # can observe that interleaving: no faults/tracing/timelines, no
+        # shared-media contention, zero local enqueue latency, and a
+        # balancer whose interleave-sensitive hooks (note_load, seed
+        # arrival, idle notification) are all the base no-ops.  Central /
+        # ACWN / token / steal balancers therefore run the unchanged
+        # scalar path — which is what keeps their golden traces
+        # bit-identical.
+        params = machine.params
+        self._turn_ok = (
+            turn_loop is not False
+            and self._faults is None
+            and self._events is None
+            and self.timeline is None
+            and params.bus_bandwidth == 0.0
+            and params.link_bandwidth == 0.0
+            and self._local_alpha == 0.0
+            and self._note_load_is_base
+            and self._seed_hook_is_base
+            and balancer_cls.on_idle is Balancer.on_idle
+        )
+        # Inline self-arrivals (skipping the engine round-trip entirely)
+        # are provably scalar-identical only on a single-PE machine, where
+        # send order == arrival order == FIFO pop order and there is no
+        # cross-PE observer of queue depth.
+        self._elide_ok = self._turn_ok and machine.num_pes == 1
+        # On a zero-latency network every transit_time call returns 0.0;
+        # the flush loops skip the call (value-identical: t + 0.0 == t for
+        # the non-negative times the engine deals in).
+        self._transit_zero = (
+            params.alpha == 0.0
+            and params.beta == 0.0
+            and params.per_hop == 0.0
+            and params.bus_bandwidth == 0.0
+            and params.link_bandwidth == 0.0
+        )
+        # Single-envelope hand-off: a turn execution whose only send was an
+        # elided self-arrival onto an empty queue passes it straight to the
+        # next loop iteration, skipping the enqueue/select round-trip.
+        self._handoff: Optional[Envelope] = None
+        self._turn_enabled = False      # armed per run()
+        self._bundle_ok = False         # cohort bundling, armed per run()
+        self._turn_cap = 0.0            # max elided events per run
+        self._turn_fired = 0            # elided events (compensated in engine)
+        self._turn_buf: List[Tuple[float, Envelope]] = []
 
         # Run state ------------------------------------------------------------
         self._current: Optional[ExecContext] = None
@@ -358,11 +437,39 @@ class Kernel:
         t0 = _host_time.perf_counter()
         self.engine.schedule_call(0.0, self._bootstrap, (main_cls, args))
 
+        # Arm the turn lane.  Horizon runs step per event (the loop below)
+        # and must observe the clock between completions, so the lane stays
+        # off there.  The cap bounds how many completions a single engine
+        # callback may absorb: an endless zero-cost self-send chain would
+        # otherwise never return control to drive()'s budget check.
+        self._turn_enabled = self._turn_ok and until is None
+        # Cohort bundling shares the turn lane's preconditions but not its
+        # parking: the main ctor and the exiting execution may not *start*
+        # turns, yet their outboxes still bundle (arrival order is
+        # unaffected; _arrive_many honors the stop flag).
+        self._bundle_ok = self._turn_enabled
+        self._turn_cap = (
+            float("inf") if max_events is None else max_events
+        )
+        self._turn_fired = 0
+        self._handoff = None
+        self._turn_buf.clear()
+
         if until is None:
             # Common case: the backend's bulk drive() loop owns the
             # budget/stop checks (one compare each, and the batch backend
             # drains whole timestamp cohorts without surfacing per event).
             _, truncated = self.engine.drive(max_events)
+            if (
+                not truncated
+                and not self._exited
+                and max_events is not None
+                and self.engine.events_fired >= max_events
+            ):
+                # Turn-lane completions count toward the event total via
+                # the compensation counter but not toward drive()'s local
+                # budget; flag the truncation it could not see.
+                truncated = True
         else:
             truncated = False
             fired = 0
@@ -413,9 +520,15 @@ class Kernel:
             counted=False,
         )
         self._in_main_ctor = True
+        # The main ctor must not start a turn (its completion event is the
+        # anchor the startup gates key off), so the lane is parked for the
+        # duration instead of checking _in_main_ctor on every execution.
+        turn_armed = self._turn_enabled
+        self._turn_enabled = False
         pe = self.pes[0]
         pe.busy = True
         self._execute(pe, env)
+        self._turn_enabled = turn_armed and not self._exit_requested
         self._in_main_ctor = False
         if self.sparse:
             # Sparse startup: no init broadcast (an O(P) message wave is
@@ -449,6 +562,12 @@ class Kernel:
     # ================================================================= delivery
     def _deliver(self, env: Envelope, departure: float) -> None:
         """Hand an envelope to the network; schedule its arrival."""
+        ctx = self._current
+        if ctx is not None:
+            # A mid-execution direct send (timed sends, cross-PE service
+            # traffic, placement flushes) makes this execution's engine
+            # footprint observable; the turn lane checks the flag.
+            ctx.direct = True
         src_pe = env.src_pe
         src = self.pes[src_pe]
         # PEState.load, inlined (the property descriptor costs a Python call
@@ -510,18 +629,29 @@ class Kernel:
         pes = self.pes
         next_uid = self._next_uid
         hops = self._hops
+        transit_zero = self._transit_zero
         transit_time = self._transit_time
         local_alpha = self._local_alpha
-        schedule_calls = self.engine.schedule_calls
+        engine = self.engine
+        schedule_calls = engine.schedule_calls
+        schedule_call = engine.schedule_call
         arrive = self._arrive_cb
+        arrive_many = self._arrive_many_cb
+        bundle = self._bundle_ok and self._turn_fired < self._turn_cap
         hops_total = 0
         last_src = -1
         src = None
         carried = 0
         group: List[Envelope] = []
         group_time = -1.0
+        # With no per-message overhead and free work units every departure
+        # collapses to start; min()/mul per envelope drop out.
+        flat_departure = base == 0.0 and wut == 0.0
         for charged_at_send, env in outbox:
-            departure = start + min(base + charged_at_send * wut, duration)
+            if flat_departure:
+                departure = start
+            else:
+                departure = start + min(base + charged_at_send * wut, duration)
             src_pe = env.src_pe
             if src_pe != last_src:
                 src = pes[src_pe]
@@ -541,18 +671,31 @@ class Kernel:
                 arrival = departure + local_alpha
             else:
                 hops_total += hops(src_pe, dst_pe)
-                arrival = departure + transit_time(
-                    src_pe, dst_pe, nbytes, departure
-                )
+                if transit_zero:
+                    arrival = departure
+                else:
+                    arrival = departure + transit_time(
+                        src_pe, dst_pe, nbytes, departure
+                    )
             if arrival == group_time:
                 group.append(env)
             else:
                 if group:
-                    schedule_calls(group_time, arrive, group)
+                    if len(group) == 1:
+                        schedule_call(group_time, arrive, group[0])
+                    elif bundle:
+                        schedule_call(group_time, arrive_many, group)
+                    else:
+                        schedule_calls(group_time, arrive, group)
                 group = [env]
                 group_time = arrival
         if group:
-            schedule_calls(group_time, arrive, group)
+            if len(group) == 1:
+                schedule_call(group_time, arrive, group[0])
+            elif bundle:
+                schedule_call(group_time, arrive_many, group)
+            else:
+                schedule_calls(group_time, arrive, group)
         self._next_uid = next_uid
         self.total_message_hops += hops_total
 
@@ -564,9 +707,10 @@ class Kernel:
         events = self._events
         if events is not None:
             events.msg_deliver(self.engine._now, env)
-        if src_pe != dst_pe or not self._note_load_is_base:
-            # Base note_load ignores self-loads, so the local-message call
-            # is skipped when the hook is not overridden.
+        if self._note_always or (self._note_cross and src_pe != dst_pe):
+            # Base note_load ignores self-loads (skipped when not
+            # overridden) and only feeds the ``known`` table (skipped when
+            # the strategy never reads it).
             self._note_load(dst_pe, src_pe, env.carried_load)
         if env.kind == _SEED and not env.fixed and not self._seed_hook_is_base:
             fwd = self._on_seed_arrival(dst_pe, env)
@@ -606,7 +750,7 @@ class Kernel:
                 if pe.max_queued == 0:
                     pe.max_queued = 1
                 pe.busy = True
-                self._execute(pe, env)
+                self._execute_turn(pe, env)
                 return
         pe.enqueue(env)
         if not pe.busy:
@@ -640,27 +784,33 @@ class Kernel:
                     events.ctx = saved
 
     # ================================================================ scheduler
-    def _start_service(self, pe: PEState) -> None:
-        """If idle, pick the next message and execute it.
+    def _select(self, pe: PEState, notify: bool) -> Optional[Envelope]:
+        """Pick the next servable envelope, or None when the PE drains.
 
-        The selection loop is duplicated in :meth:`_finish` (which runs
-        once per executed message) so completion doesn't pay an extra call
-        frame; keep the two bodies in sync.
+        The one shared selection drain (historically duplicated across
+        ``_start_service`` and ``_finish``): holds premature APP/BOC
+        messages until their target exists and, when ``notify`` and the PE
+        has truly run dry, tells the balancer.  The turn lane selects with
+        ``notify=False`` — its trailing real completion event owns the idle
+        notification, in scalar event order.
         """
-        if self._exited or pe.busy:
-            return
         while True:
             env = pe.next_envelope()
             if env is None:
-                if not pe.gated and not pe.has_work() and not pe.idle_notified:
+                if (
+                    notify
+                    and not pe.gated
+                    and not pe.has_work()
+                    and not pe.idle_notified
+                ):
                     pe.idle_notified = True
                     self.balancer.on_idle(pe.index)
-                return
+                return None
             kind = env.kind
             if kind == _APP:
                 gid = env.handle.gid
                 if gid in self.chares:
-                    break
+                    return env
                 if gid in self.destroyed:
                     raise RoutingError(
                         f"message {env.entry!r} to destroyed chare {env.handle}"
@@ -675,18 +825,271 @@ class Kernel:
                     (env.boc.boc_id, env.dst_pe), []
                 ).append(env)
                 continue
-            break
-        pe.busy = True
-        self._execute(pe, env)
+            return env
 
-    def _execute(self, pe: PEState, env: Envelope) -> None:
-        """Run one entry method; occupy the PE; emit its sends."""
+    def _start_service(self, pe: PEState) -> None:
+        """If idle, pick the next message and execute it."""
+        if self._exited or pe.busy:
+            return
+        env = self._select(pe, True)
+        if env is None:
+            return
+        pe.busy = True
+        self._execute_turn(pe, env)
+
+    def _execute_turn(self, pe: PEState, env: Envelope) -> None:
+        """Run an execution and, inline, its zero-window successors.
+
+        While :meth:`_execute` keeps eliding its completion event (zero
+        busy window, turn lane armed) and the PE's queue is non-empty *at
+        this instant*, the next envelope is selected and executed in the
+        same engine callback — the run-to-completion turn.  Each inlined
+        completion is compensated in the engine's fired counter, so
+        ``RunResult.events`` is conserved exactly.  The turn ends with one
+        real completion event: it fires after any same-timestamp arrivals
+        still in the engine, which keeps late-cohort selection and idle
+        notification in scalar order.
+        """
+        execute = self._execute
+        select = self._select
+        free = _env_free
+        fired = 0
+        while True:
+            if not execute(pe, env):
+                if fired:
+                    self.engine.bump_fired(fired)
+                return
+            # An elided completion means the turn gate held for this
+            # execution: no event log, fault layer or timeline exists to
+            # retain the envelope, so it is dead and can be recycled.
+            if len(free) < _ENV_FREE_CAP:
+                free.append(env)
+            env = self._handoff
+            if env is None:
+                if not pe._queued:
+                    break
+                env = select(pe, False)
+                if env is None:
+                    # Only premature-held work was queued.
+                    break
+            else:
+                self._handoff = None
+            fired += 1
+            self._turn_fired += 1
+        if fired:
+            self.engine.bump_fired(fired)
+        if self._turn_buf:
+            self._flush_turn_buf()
+        self._schedule_call(pe.busy_until, self._finish_cb, pe)
+
+    def _flush_outbox_turn(
+        self, outbox: List[Tuple[float, Envelope]], pe: PEState, start: float
+    ) -> None:
+        """Outbox flush for a zero-window turn execution.
+
+        With ``duration == 0`` every departure collapses to ``start``, so
+        the per-envelope offset arithmetic drops out.  Self-sends whose
+        arrival would be a pure enqueue are put on the PE's queue on the
+        spot (the elided arrival event is compensated); everything else is
+        deferred to the turn buffer and bulk-scheduled when the turn hands
+        control back to the engine.  Send-side accounting matches
+        :meth:`_deliver` field for field, and the carried load is computed
+        once before any enqueue so piggybacked values equal the scalar
+        path's.
+        """
+        src_pe = pe.index
+        carried = pe._app_queued + 1 if pe.busy else pe._app_queued
+        next_uid = self._next_uid
+        early = self._elide_ok
+        if early and len(outbox) == 1:
+            # Single self-send on a 1-PE machine — the zero-cost chain
+            # shape (PingPong, self-driving actors).  One envelope, no
+            # deferral buffer, no topology locals: accounting matches the
+            # loop below field for field.
+            env = outbox[0][1]
+            env.carried_load = carried
+            pe.msgs_sent += 1
+            pe.bytes_sent += env.nbytes
+            if env.uid is None:
+                env.uid = next_uid
+                self._next_uid = next_uid + 1
+            if env.counted and not env.suppress_sent_count:
+                pe.counted_sent += 1
+            kind = env.kind
+            if (
+                pe._queued == 0
+                and not pe.gated
+                and (kind == _SEED or env.system or kind == _SVC
+                     or (kind == _APP and env.handle.gid in self.chares))
+            ):
+                if pe.max_queued == 0:
+                    pe.max_queued = 1
+                self._handoff = env
+            else:
+                pe.enqueue(env)
+            self.engine._events_fired += 1
+            self._turn_fired += 1
+            return
+        buf = self._turn_buf
+        local_alpha = self._local_alpha
+        hops = self._hops
+        transit_zero = self._transit_zero
+        transit_time = self._transit_time
+        chares = self.chares
+        hops_total = 0
+        elided = 0
+        for _charged, env in outbox:
+            env.carried_load = carried
+            pe.msgs_sent += 1
+            nbytes = env.nbytes
+            pe.bytes_sent += nbytes
+            if env.uid is None:
+                env.uid = next_uid
+                next_uid += 1
+            if env.counted and not env.suppress_sent_count:
+                pe.counted_sent += 1
+            dst_pe = env.dst_pe
+            if dst_pe == src_pe:
+                if early:
+                    # Inline arrival: exactly what _arrive would do for a
+                    # same-instant local message on a busy, ungated PE with
+                    # base hooks — one engine round-trip elided.
+                    elided += 1
+                    kind = env.kind
+                    if (
+                        len(outbox) == 1
+                        and pe._queued == 0
+                        and not pe.gated
+                        and (kind == _SEED or env.system or kind == _SVC
+                             or (kind == _APP and env.handle.gid in chares))
+                    ):
+                        # Enqueue-then-pop collapses to a direct hand-off;
+                        # the momentary depth of 1 still hits the mark.
+                        if pe.max_queued == 0:
+                            pe.max_queued = 1
+                        self._handoff = env
+                        continue
+                    pe.enqueue(env)
+                    continue
+                buf.append((start + local_alpha, env))
+                continue
+            hops_total += hops(src_pe, dst_pe)
+            if transit_zero:
+                buf.append((start, env))
+            else:
+                buf.append(
+                    (start + transit_time(src_pe, dst_pe, nbytes, start), env)
+                )
+        self._next_uid = next_uid
+        self.total_message_hops += hops_total
+        if elided:
+            # Same contract as engine.bump_fired, open-coded: this runs
+            # once per turn execution with an outbox.
+            self.engine._events_fired += elided
+            self._turn_fired += elided
+
+    def _arrive_many(self, envs: List[Envelope]) -> None:
+        """Deliver a same-time arrival cohort inside one engine event.
+
+        ``schedule_calls`` gives a cohort contiguous sequence numbers, so
+        in the scalar schedule its arrivals fire back to back with nothing
+        interleaved: same-time work scheduled before the cohort has a
+        smaller seq (fires earlier), work scheduled after — including by
+        a callback running mid-cohort — has a larger one (fires later).
+        Folding the cohort into a single engine entry therefore preserves
+        arrival order exactly while paying one heap push/pop for the lot.
+        The folded entries are compensated via :meth:`bump_fired` and
+        count toward the turn cap, and the engine's stop flag is honored
+        between arrivals exactly as the scalar drive loop honors it.
+        """
+        engine = self.engine
+        arrive = self._arrive
+        n = 0
+        if self._bundle_ok and not self._note_cross:
+            # All per-arrival hooks are provably no-ops here (bundling
+            # implies base balancer hooks, no tracing/faults, and the
+            # note_load table is dead), so a busy destination's arrival is
+            # exactly one enqueue — skip the _arrive frame for it.  A
+            # non-busy destination takes the full path (idle fast lane,
+            # gated service start), which may stop the engine.
+            pes = self.pes
+            try:
+                for env in envs:
+                    n += 1
+                    pe = pes[env.dst_pe]
+                    if pe.busy:
+                        pe.enqueue(env)
+                    else:
+                        arrive(env)
+                        if engine._stop:
+                            break
+            finally:
+                n -= 1
+                if n > 0:
+                    self._turn_fired += n
+                    engine.bump_fired(n)
+            return
+        try:
+            for env in envs:
+                n += 1
+                arrive(env)
+                if engine._stop:
+                    break
+        finally:
+            n -= 1
+            if n > 0:
+                self._turn_fired += n
+                engine.bump_fired(n)
+
+    def _flush_turn_buf(self) -> None:
+        """Bulk-schedule the sends deferred across a turn, in send order,
+        grouping consecutive equal arrival times into one cohort.  While
+        the turn cap has headroom, a multi-envelope cohort is bundled
+        into one engine entry (:meth:`_arrive_many`)."""
+        engine = self.engine
+        schedule_call = engine.schedule_call
+        arrive = self._arrive_cb
+        arrive_many = self._arrive_many_cb
+        bundle = self._turn_fired < self._turn_cap
+        group: List[Envelope] = []
+        group_time = -1.0
+        for arrival, env in self._turn_buf:
+            if arrival == group_time:
+                group.append(env)
+            else:
+                if group:
+                    if len(group) == 1:
+                        schedule_call(group_time, arrive, group[0])
+                    elif bundle:
+                        schedule_call(group_time, arrive_many, group)
+                    else:
+                        engine.schedule_calls(group_time, arrive, group)
+                group = [env]
+                group_time = arrival
+        if group:
+            if len(group) == 1:
+                schedule_call(group_time, arrive, group[0])
+            elif bundle:
+                schedule_call(group_time, arrive_many, group)
+            else:
+                engine.schedule_calls(group_time, arrive, group)
+        self._turn_buf.clear()
+
+    def _execute(self, pe: PEState, env: Envelope) -> bool:
+        """Run one entry method; occupy the PE; emit its sends.
+
+        Returns True when the completion event was elided (zero busy
+        window, turn lane armed) and the caller — :meth:`_execute_turn` —
+        should continue the turn inline; False when the completion was
+        scheduled as a real event (or the program exited).
+        """
         kind = env.kind
         ctx = self._ctx
         start = ctx.start = self.engine._now
         ctx.pe = pe.index
         ctx.charged = 0.0
         ctx.system = env.system or kind == _SVC
+        ctx.direct = False
         outbox = ctx.outbox
         outbox.clear()
         # busy_until still holds the previous execution's end: the window
@@ -708,13 +1111,33 @@ class Kernel:
                 chare = self.chares.get(env.handle.gid)
                 if chare is None:
                     raise RoutingError(f"message to unknown chare {env.handle}")
-                fn = self._entry_cache.get((type(chare), env.entry))
+                fns = self._entry_cache.get(type(chare))
+                fn = None if fns is None else fns.get(env.entry)
                 if fn is not None:
                     fn(chare, *env.args)
                 else:
                     self._invoke(chare, env.entry, env.args)
             elif kind == _SEED:
-                self._construct_chare(pe, env)
+                # _construct_chare, inlined: one frame per created chare.
+                handle = env.handle
+                gid = handle.gid
+                placement = self.placement
+                if placement.get(gid) is None:
+                    placement[gid] = pe.index
+                    if gid in self._pending_sends:
+                        self._place(gid, pe.index)
+                cls = env.chare_cls
+                obj = cls.__new__(cls)
+                obj._kernel = self
+                obj._handle = handle
+                obj._pe = pe.index
+                self.chares[gid] = obj
+                obj.__init__(*env.args)
+                if self._premature:
+                    # Anything that raced ahead of construction is now
+                    # runnable (transit already paid).
+                    for held in self._premature.pop(gid, ()):
+                        pe.enqueue(held)
             else:
                 self._dispatch(pe, env)
         finally:
@@ -747,6 +1170,27 @@ class Kernel:
             self.last_counted_exec_time = start + duration
         if self.timeline is not None:
             self.timeline.record(pe.index, start, duration, env)
+        if (
+            duration == 0.0
+            and self._turn_enabled
+            and not pe.gated
+            and not ctx.direct
+            and self._turn_fired < self._turn_cap
+        ):
+            # _turn_enabled subsumes the exit-requested and main-ctor
+            # checks: api_exit disarms the lane and _bootstrap parks it.
+            # Zero busy window and nothing observes per-event scheduling:
+            # elide the completion event and let the caller continue the
+            # turn.  busy_until collapses to start (duration is zero).
+            if outbox:
+                self._flush_outbox_turn(outbox, pe, start)
+                outbox.clear()
+            pe.busy_until = start
+            return True
+        if self._turn_buf:
+            # Sends deferred by earlier turn executions must reach the
+            # engine before this execution's own outbox does.
+            self._flush_turn_buf()
         if outbox:
             if len(outbox) >= 4 and self._burst_ok and wut is not None:
                 self._flush_outbox_burst(outbox, start, duration, base, wut)
@@ -771,8 +1215,9 @@ class Kernel:
             self._exited = True
             self._final_time = busy_until
             self.engine.request_stop()
-            return
+            return False
         self._schedule_call(busy_until, self._finish_cb, pe)
+        return False
 
     def _dispatch(self, pe: PEState, env: Envelope) -> None:
         """Route an envelope to its handler (chare entry, BOC entry, service)."""
@@ -798,7 +1243,8 @@ class Kernel:
 
     def _invoke(self, obj: Chare, entry_name: str, args: tuple) -> None:
         cls = type(obj)
-        fn = self._entry_cache.get((cls, entry_name))
+        fns = self._entry_cache.get(cls)
+        fn = None if fns is None else fns.get(entry_name)
         if fn is None:
             fn = getattr(cls, entry_name, None)
             if not isinstance(fn, _FunctionType) or (
@@ -818,7 +1264,9 @@ class Kernel:
                     )
                 method(*args)
                 return
-            self._entry_cache[(cls, entry_name)] = fn
+            if fns is None:
+                fns = self._entry_cache[cls] = {}
+            fns[entry_name] = fn
         fn(obj, *args)
 
     def _construct_chare(self, pe: PEState, env: Envelope) -> None:
@@ -843,42 +1291,19 @@ class Kernel:
     def _finish(self, pe: PEState) -> None:
         """An execution completed; serve the PE's next message.
 
-        Body duplicated from :meth:`_start_service` (minus the idle/busy
-        guard, which is vacuous here): this callback fires once per
-        executed message, so the saved delegation frame is paid back
-        millions of times per run.  Keep the two loops in sync.
+        One real completion event per turn (a turn of length one is the
+        scalar case): selection goes through the shared :meth:`_select`
+        drain, and any zero-window successors are absorbed inline by
+        :meth:`_execute_turn`.
         """
         pe.busy = False
         if self._exited:
             return
-        while True:
-            env = pe.next_envelope()
-            if env is None:
-                if not pe.gated and not pe.has_work() and not pe.idle_notified:
-                    pe.idle_notified = True
-                    self.balancer.on_idle(pe.index)
-                return
-            kind = env.kind
-            if kind == _APP:
-                gid = env.handle.gid
-                if gid in self.chares:
-                    break
-                if gid in self.destroyed:
-                    raise RoutingError(
-                        f"message {env.entry!r} to destroyed chare {env.handle}"
-                    )
-                self._premature.setdefault(gid, []).append(env)
-                continue
-            if kind == _BOC and env.dst_pe not in self.bocs.get(
-                env.boc.boc_id, {}
-            ):
-                self._boc_premature.setdefault(
-                    (env.boc.boc_id, env.dst_pe), []
-                ).append(env)
-                continue
-            break
+        env = self._select(pe, True)
+        if env is None:
+            return
         pe.busy = True
-        self._execute(pe, env)
+        self._execute_turn(pe, env)
 
     # ================================================================== chare API
     def api_charge(self, units: float) -> None:
@@ -921,16 +1346,8 @@ class Kernel:
                  None if events is None else events.ctx)
             )
             return
-        env = Envelope(
-            kind=Kind.APP,
-            src_pe=ctx.pe,
-            dst_pe=dst,
-            entry=entry_name,
-            args=args,
-            handle=target,
-            priority=priority,
-            prio_key=key,
-        )
+        env = Envelope.make_app(ctx.pe, dst, entry_name, args, target,
+                                priority, key)
         ctx.outbox.append((ctx.charged, env))
 
     def api_send_at(
@@ -1001,8 +1418,9 @@ class Kernel:
             raise SchedulingError(
                 "chare API used outside an entry-method execution"
             )
-        gid = self._alloc_gid()
-        handle = ChareHandle(gid)
+        gid = self._next_gid        # _alloc_gid, inlined (one per create)
+        self._next_gid = gid + 1
+        handle = mint_chare_handle(gid)
         src = ctx.pe
         self.pes[src].seeds_created += 1
         key = None if priority is None else normalize_priority(priority)
@@ -1010,18 +1428,9 @@ class Kernel:
             if not 0 <= pe < self.num_pes:
                 raise RoutingError(f"create on invalid PE {pe}")
             self.placement[gid] = pe
-            env = Envelope(
-                kind=Kind.SEED,
-                src_pe=src,
-                dst_pe=pe,
-                entry="__init__",
-                args=args,
-                handle=handle,
-                chare_cls=chare_cls,
-                fixed=True,
-                priority=priority,
-                prio_key=key,
-            )
+            env = Envelope.make_seed(src, pe, args, handle, chare_cls,
+                                     fixed=True, priority=priority,
+                                     prio_key=key)
         else:
             self.placement[gid] = None
             target = self.balancer.on_new_seed(src, chare_cls)
@@ -1032,17 +1441,8 @@ class Kernel:
                     parent=events.ctx,
                     info={"to": target, "chare": chare_cls.__name__},
                 )
-            env = Envelope(
-                kind=Kind.SEED,
-                src_pe=src,
-                dst_pe=target,
-                entry="__init__",
-                args=args,
-                handle=handle,
-                chare_cls=chare_cls,
-                priority=priority,
-                prio_key=key,
-            )
+            env = Envelope.make_seed(src, target, args, handle, chare_cls,
+                                     priority=priority, prio_key=key)
         ctx.outbox.append((ctx.charged, env))
         return handle
 
@@ -1070,6 +1470,10 @@ class Kernel:
         # The run ends when the *exiting execution* completes, so the final
         # virtual time includes the work charged by the exiting entry.
         self._exit_requested = True
+        # Disarm the turn lane for good (a Kernel runs one program): the
+        # exiting execution must end its turn through the scalar tail so
+        # the stop request reaches the engine.
+        self._turn_enabled = False
         self._exit_result = result
 
     # ----------------------------------------------------------------- BOC API
@@ -1113,6 +1517,17 @@ class Kernel:
         ctx = self.current
         if not 0 <= pe < self.num_pes:
             raise RoutingError(f"branch send to invalid PE {pe}")
+        span = self.boc_spans.get(boc.boc_id)
+        if span is not None and pe not in span[1]:
+            # Sparse kernels materialize branches on the ranks that were
+            # touched when the BOC was created (the write-once span); a
+            # send outside it would wait forever for a branch that will
+            # never be constructed, so fail it loudly instead.
+            raise RoutingError(
+                f"branch send to PE {pe}: {boc} spans "
+                f"{len(span[0])} touched ranks and PE {pe} is not one "
+                "(sparse BOCs cover the ranks active at creation)"
+            )
         env = Envelope(
             kind=Kind.BOC,
             src_pe=ctx.pe,
@@ -1172,7 +1587,7 @@ class Kernel:
     ) -> None:
         ctx = self.current
         self._reduce_fold(boc.boc_id, tag, ctx.pe, value, op, target, entry_name,
-                          own=True)
+                          own=True, span=self.boc_spans.get(boc.boc_id))
 
     def api_barrier(self, boc: BocHandle, tag: str, entry_name: str) -> None:
         """Join a barrier over all branches of ``boc``.
@@ -1184,7 +1599,8 @@ class Kernel:
         """
         ctx = self.current
         self._reduce_fold(boc.boc_id, tag, ctx.pe, 1, "sum", None, entry_name,
-                          own=True, mode="barrier")
+                          own=True, mode="barrier",
+                          span=self.boc_spans.get(boc.boc_id))
 
     def _red_state(self, boc_id: int, tag: str, pe: int,
                    span: Optional[tuple] = None) -> dict:
@@ -1192,8 +1608,12 @@ class Kernel:
         st = self._reductions.get(key)
         if st is None:
             if span is not None:
-                # Sparse collect: fold over the snapshot's virtual tree.
-                ranks, wtree = span
+                # Sparse collect/BOC: fold over the snapshot's virtual
+                # tree.  Accumulator snapshots are (ranks, tree) pairs,
+                # BOC spans are (ranks, rank_set, tree) triples; both put
+                # the ranks first and the tree last.
+                ranks = span[0]
+                wtree = span[-1]
                 need = 1 + len(wtree.children(bisect_left(ranks, pe)))
             else:
                 need = 1 + len(self.tree.children(pe))
@@ -1246,7 +1666,8 @@ class Kernel:
         # Subtree complete: push up, or complete at the root.
         del self._reductions[(boc_id, tag, pe)]
         if span is not None:
-            ranks, wtree = span
+            ranks = span[0]
+            wtree = span[-1]
             vparent = wtree.parent(bisect_left(ranks, pe))
             parent = None if vparent is None else ranks[vparent]
         else:
@@ -1298,16 +1719,7 @@ class Kernel:
         counted: bool = False,
     ) -> None:
         """Send a runtime-service message (system lane on arrival)."""
-        env = Envelope(
-            kind=Kind.SVC,
-            src_pe=src_pe,
-            dst_pe=dst_pe,
-            entry=op,
-            args=args,
-            service=service,
-            system=True,
-            counted=counted,
-        )
+        env = Envelope.make_svc(src_pe, dst_pe, op, args, service, counted)
         ctx = self._current
         if ctx is not None and ctx.pe == src_pe:
             ctx.outbox.append((ctx.charged, env))

@@ -36,6 +36,16 @@ __all__ = ["Kind", "Envelope", "HEADER_BYTES"]
 
 HEADER_BYTES = 32
 
+# Free list for envelope recycling.  The kernel's turn loop returns
+# envelopes here once they are provably dead (executed with an elided
+# completion, which the turn gate only allows when no event log, fault
+# layer or timeline could still reference them), and the hot factories
+# below reuse them instead of allocating.  Every factory assigns every
+# slot, so a recycled envelope is indistinguishable from a fresh one;
+# the cap bounds idle memory.
+_free: list = []
+_FREE_CAP = 256
+
 
 class Kind:
     """Envelope kind tags (class-as-namespace; values are small ints)."""
@@ -85,6 +95,88 @@ class Envelope:
     # Assigned by the owning kernel at first delivery; None until then.
     uid: Optional[int] = None
     _size: Optional[int] = field(default=None, repr=False)
+
+    # Envelopes are the most-allocated object in the simulator, and the
+    # generated dataclass __init__ (17 parameters, kwargs at every call
+    # site) costs ~3x a bare allocation plus direct slot stores.  The
+    # kind-specialized factories below are used on the kernel's hot send
+    # paths; cold paths (forwarding, BOC plumbing) keep the dataclass
+    # constructor.  Every slot is assigned — slots=True means a missed
+    # field is an AttributeError, not a silent default.
+    @classmethod
+    def make_app(cls, src_pe, dst_pe, entry, args, handle,
+                 priority=None, prio_key=None) -> "Envelope":
+        env = _free.pop() if _free and cls is Envelope else cls.__new__(cls)
+        env.kind = Kind.APP
+        env.src_pe = src_pe
+        env.dst_pe = dst_pe
+        env.entry = entry
+        env.args = args
+        env.handle = handle
+        env.chare_cls = None
+        env.hops = 0
+        env.boc = None
+        env.service = None
+        env.priority = priority
+        env.prio_key = prio_key
+        env.system = False
+        env.counted = True
+        env.fixed = False
+        env.suppress_sent_count = False
+        env.carried_load = 0
+        env.uid = None
+        env._size = None
+        return env
+
+    @classmethod
+    def make_seed(cls, src_pe, dst_pe, args, handle, chare_cls,
+                  fixed=False, priority=None, prio_key=None) -> "Envelope":
+        env = _free.pop() if _free and cls is Envelope else cls.__new__(cls)
+        env.kind = Kind.SEED
+        env.src_pe = src_pe
+        env.dst_pe = dst_pe
+        env.entry = "__init__"
+        env.args = args
+        env.handle = handle
+        env.chare_cls = chare_cls
+        env.hops = 0
+        env.boc = None
+        env.service = None
+        env.priority = priority
+        env.prio_key = prio_key
+        env.system = False
+        env.counted = True
+        env.fixed = fixed
+        env.suppress_sent_count = False
+        env.carried_load = 0
+        env.uid = None
+        env._size = None
+        return env
+
+    @classmethod
+    def make_svc(cls, src_pe, dst_pe, op, args, service,
+                 counted=False) -> "Envelope":
+        env = cls.__new__(cls)
+        env.kind = Kind.SVC
+        env.src_pe = src_pe
+        env.dst_pe = dst_pe
+        env.entry = op
+        env.args = args
+        env.handle = None
+        env.chare_cls = None
+        env.hops = 0
+        env.boc = None
+        env.service = service
+        env.priority = None
+        env.prio_key = None
+        env.system = True
+        env.counted = counted
+        env.fixed = False
+        env.suppress_sent_count = False
+        env.carried_load = 0
+        env.uid = None
+        env._size = None
+        return env
 
     @property
     def nbytes(self) -> int:

@@ -29,7 +29,7 @@ from collections import deque
 from typing import List, Optional
 
 from repro.core.messages import Envelope, Kind
-from repro.queueing.strategies import QueueStrategy, make_strategy
+from repro.queueing.strategies import FifoStrategy, QueueStrategy, make_strategy
 
 __all__ = ["PEState", "PEPlane"]
 
@@ -74,6 +74,8 @@ class PEState:
         "_system",
         "_app",
         "seed_pool",
+        "_app_fifo",
+        "_seed_fifo",
         "_queued",
         "_app_queued",
         "_app_len",
@@ -135,6 +137,16 @@ class PEState:
         self._system: deque = deque()
         self._app: QueueStrategy = make_strategy(strategy_name)
         self.seed_pool: QueueStrategy = make_strategy(strategy_name)
+        # FIFO fast lanes: under the default strategy, enqueue/pop touch
+        # the strategy's backing deque directly instead of paying a method
+        # frame per message.  The strategy object shares the same deque, so
+        # strategy-path users (steal_seed, requeue_seed) stay coherent.
+        self._app_fifo = (
+            self._app._q if type(self._app) is FifoStrategy else None
+        )
+        self._seed_fifo = (
+            self.seed_pool._q if type(self.seed_pool) is FifoStrategy else None
+        )
         self._queued = 0        # everything queued (system + app + seeds)
         self._app_queued = 0    # app lane + seeds (the balancer load metric)
         self._app_len = 0       # app lane only (seeds = _app_queued - _app_len)
@@ -148,12 +160,20 @@ class PEState:
         """
         kind = env.kind
         if kind == _SEED:
-            self.seed_pool.push(env, env.priority, env.prio_key)
+            q = self._seed_fifo
+            if q is None:
+                self.seed_pool.push(env, env.priority, env.prio_key)
+            else:
+                q.append(env)
             self._app_queued += 1
         elif env.system or kind == _SVC:
             self._system.append(env)
         else:
-            self._app.push(env, env.priority, env.prio_key)
+            q = self._app_fifo
+            if q is None:
+                self._app.push(env, env.priority, env.prio_key)
+            else:
+                q.append(env)
             self._app_len += 1
             self._app_queued += 1
         queued = self._queued = self._queued + 1
@@ -177,11 +197,13 @@ class PEState:
             self._app_len -= 1
             self._queued -= 1
             self._app_queued -= 1
-            return self._app.pop()
+            q = self._app_fifo
+            return self._app.pop() if q is None else q.popleft()
         if self._app_queued:  # seeds remain
             self._queued -= 1
             self._app_queued -= 1
-            return self.seed_pool.pop()
+            q = self._seed_fifo
+            return self.seed_pool.pop() if q is None else q.popleft()
         return None
 
     def steal_seed(self) -> Optional[Envelope]:

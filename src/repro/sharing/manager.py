@@ -256,21 +256,46 @@ class SharingService(Service):
 
         elif op == "boc_create":
             boc_id, boc_cls, cargs = args
-            for child in kernel.tree.children(pe):
-                self.send(pe, child, "boc_create", args, counted=True)
+            span = kernel.boc_spans.get(boc_id)
+            if span is None and kernel.sparse:
+                # First arrival is at the tree root (PE 0): snapshot the
+                # touched ranks as this BOC's write-once span.  Branches
+                # materialize on exactly these ranks, and every later
+                # broadcast/reduction for the BOC walks this virtual tree
+                # instead of all P ranks.
+                ranks = kernel.pes.ranks()
+                span = kernel.boc_spans[boc_id] = (
+                    ranks, frozenset(ranks), type(kernel.tree)(len(ranks)))
+            if span is not None:
+                ranks, _, wtree = span
+                for child in wtree.children(bisect_left(ranks, pe)):
+                    self.send(pe, ranks[child], "boc_create", args,
+                              counted=True)
+            else:
+                for child in kernel.tree.children(pe):
+                    self.send(pe, child, "boc_create", args, counted=True)
             kernel.construct_branch(boc_id, boc_cls, cargs, pe)
 
         elif op in ("boc_bcast", "bcast_down"):
             boc_id, entry, bargs = args
-            for child in kernel.tree.children(pe):
-                self.send(pe, child, "bcast_down", args, counted=True)
+            span = kernel.boc_spans.get(boc_id)
+            if span is not None:
+                ranks, _, wtree = span
+                for child in wtree.children(bisect_left(ranks, pe)):
+                    self.send(pe, ranks[child], "bcast_down", args,
+                              counted=True)
+            else:
+                for child in kernel.tree.children(pe):
+                    self.send(pe, child, "bcast_down", args, counted=True)
             kernel.deliver_local_boc(boc_id, pe, entry, bargs)
 
         elif op == "red_up":
             boc_id, tag, value, rop, target, entry, mode = args
-            # boc_id -1 marks accumulator collects; only those carry a
-            # sparse snapshot (BOC reductions span all P branches).
-            span = self._collect_snap.get(tag) if boc_id == -1 else None
+            # boc_id -1 marks accumulator collects (per-collect snapshot);
+            # real BOC reductions fold over the BOC's write-once span when
+            # one exists (sparse kernels), else over all P branches.
+            span = (self._collect_snap.get(tag) if boc_id == -1
+                    else kernel.boc_spans.get(boc_id))
             done = kernel._reduce_fold(boc_id, tag, pe, value, rop, target,
                                        entry, own=False, mode=mode, span=span)
             if done and span is not None:

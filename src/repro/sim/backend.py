@@ -94,6 +94,19 @@ class HeapBackend(Engine):
         """Make an in-progress :meth:`drive` return before the next event."""
         self._stop = True
 
+    def bump_fired(self, n: int) -> None:
+        """Fold ``n`` logical events into the fired-event counter.
+
+        The kernel's fused fast paths (turn-loop completion elisions,
+        bundled same-time arrival cohorts) absorb work the scalar
+        schedule surfaces as individual engine callbacks; they report the
+        absorbed count here so ``events_fired`` — and every fingerprint,
+        report and truncation check derived from it — stays identical to
+        the event-per-callback schedule.  Part of the backend protocol:
+        both backends implement it identically.
+        """
+        self._events_fired += n
+
     def schedule_calls(
         self, time: float, fn: Callable[[Any], None], args: Iterable[Any]
     ) -> None:
@@ -255,6 +268,13 @@ class BatchBackend:
     def request_stop(self) -> None:
         """Make an in-progress :meth:`drive` return before the next event."""
         self._stop = True
+
+    def bump_fired(self, n: int) -> None:
+        """Fold ``n`` logical events into the fired-event counter.
+
+        See :meth:`HeapBackend.bump_fired` — same contract, same reason.
+        """
+        self._events_fired += n
 
     # -------------------------------------------------------------- scheduling
     def schedule(self, time: float, fn: Callable[[], None]) -> BatchEvent:

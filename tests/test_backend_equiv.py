@@ -416,6 +416,120 @@ def test_burst_lane_matches_scalar_flush():
         assert heap_fp == batch_fp
 
 
+def test_randomized_turn_loop_vs_scalar_equivalence():
+    """The run-to-completion turn loop must be observationally invisible.
+
+    Random draws over app x preset x balancer x queueing x faults x
+    tracing x backend compare a default kernel (turn loop armed where
+    eligible) against ``turn_loop=False`` (per-event scalar scheduling,
+    the historical path) — full fingerprints, including ``max_queued``
+    and event counts, must match bit for bit.  Draws with faults or
+    tracing exercise the lane's bail-out (it must disarm, not perturb);
+    plain draws exercise the inline turns, cohort bundling and the
+    elided-completion accounting.
+    """
+    rng = RngStream(1991, "turn-equiv")
+    apps = sorted(_RUNNERS)
+    machines = ["symmetry", "multimax", "ipsc2", "ncube2", "cluster",
+                "ideal", "hetero"]
+    balancers = ["random", "acwn", "token", "central", "roundrobin"]
+    queueings = ["fifo", "lifo", "prio", "bitprio"]
+    fault_draws = [None, None, FaultConfig(jitter=3e-6),
+                   FaultConfig(drop_prob=0.05, ack_timeout=2e-3)]
+    for draw in range(10):
+        app = apps[rng.randint(0, len(apps) - 1)]
+        machine_name = machines[rng.randint(0, len(machines) - 1)]
+        backend = ("heap", "batch")[rng.randint(0, 1)]
+        common = dict(
+            balancer=balancers[rng.randint(0, len(balancers) - 1)],
+            queueing=queueings[rng.randint(0, len(queueings) - 1)],
+            seed=rng.randint(0, 10_000),
+        )
+        kw = {}
+        faults = fault_draws[rng.randint(0, len(fault_draws) - 1)]
+        if faults is not None:
+            kw["faults"] = faults
+        if rng.randint(0, 1):
+            kw["trace_events"] = "all"
+        turn_fp, turn_res = _run_on(backend, app, machine_name, 8, common,
+                                    **kw)
+        scalar_fp, scalar_res = _run_on(backend, app, machine_name, 8,
+                                        common, turn_loop=False, **kw)
+        assert turn_fp == scalar_fp, (
+            f"draw {draw}: {app}@{machine_name}/{backend} {common} "
+            f"{sorted(kw)} diverged"
+        )
+        if "trace_events" in kw:
+            assert (turn_res.kernel.events.as_records()
+                    == scalar_res.kernel.events.as_records())
+
+
+def test_sparse_boc_equivalence_p10k():
+    """Sparse BOC collectives (write-once spans) must be backend- and
+    turn-loop-invariant at P=10⁴: create/broadcast/reduce over the
+    touched-rank virtual tree produce identical times, event counts and
+    per-rank counters on heap vs batch, turn vs scalar."""
+    from repro.core.chare import BranchOfficeChare, Chare, entry
+    from repro.core.kernel import Kernel
+
+    def merge(a, b):
+        return tuple(sorted(set(a) | set(b)))
+
+    class SpanBoc(BranchOfficeChare):
+        def __init__(self):
+            pass
+
+        @entry
+        def ping(self, target):
+            self.contribute("who", (self.my_pe,), merge, target=target,
+                            entry_name="collected")
+
+    class Toucher(Chare):
+        def __init__(self, parent):
+            self.send(parent, "touched")
+
+    class Main(Chare):
+        def __init__(self, ranks):
+            self.pending = len(ranks)
+            for pe in ranks:
+                self.create(Toucher, self.thishandle, pe=pe)
+
+        @entry
+        def touched(self):
+            self.pending -= 1
+            if self.pending == 0:
+                boc = self.create_boc(SpanBoc)
+                self.broadcast_branches(boc, "ping", self.thishandle)
+
+        @entry
+        def collected(self, tag, value):
+            self.exit(value)
+
+    ranks = sorted(i * 419 for i in range(1, 17))  # 16 ranks within 10k
+    fps = {}
+    for backend in BACKENDS:
+        for turn in (None, False):
+            machine = make_machine("cluster", 10_000, backend=backend,
+                                   sparse=True)
+            res = Kernel(machine, turn_loop=turn).run(Main, ranks)
+            k = res.kernel
+            boc_id = next(iter(k.boc_spans))
+            fps[(backend, turn)] = (
+                repr(res.result), float(res.time).hex(), res.events,
+                tuple(k.boc_spans[boc_id][0]),
+                tuple(sorted(k.bocs[boc_id])),
+                tuple(sorted(k.pes)),
+                tuple((s.index, s.msgs_executed, s.system_executed,
+                       s.msgs_sent, s.bytes_sent, s.counted_sent,
+                       s.counted_processed, s.max_queued)
+                      for s in k.pes.states()),
+            )
+    baseline = fps[("heap", None)]
+    assert baseline[3] == tuple(sorted([0] + ranks))  # span == touched set
+    for key, fp in fps.items():
+        assert fp == baseline, f"{key} diverged from heap/turn"
+
+
 def test_backend_selection_plumbing():
     """Explicit Kernel arg > machine.backend > heap default."""
     from repro.core.kernel import Kernel

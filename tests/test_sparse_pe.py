@@ -32,12 +32,14 @@ from repro.apps.histogram import run_histogram
 from repro.apps.nqueens import run_nqueens
 from repro.apps.tree import TreeParams, run_tree
 from repro.apps.tsp import TspInstance, run_tsp
+from repro.core.chare import BranchOfficeChare, Chare, entry
 from repro.core.kernel import Kernel
 from repro.core.pe import PEPlane, PEState
 from repro.faults import FaultConfig
 from repro.machine.presets import make_machine
 from repro.metrics import sample_metrics
 from repro.trace.report import TraceReport
+from repro.util.errors import RoutingError
 from repro.util.rng import RngStream
 
 
@@ -255,6 +257,126 @@ def test_sparse_p1m_memory_is_o_active():
     share = k.services["share"]
     assert len(share._acc) + len(share._mono) < 4_000
     assert len(k.balancer.known) < 4_000
+
+
+# ------------------------------------------------------------ sparse BOC spans
+def _span_merge(a, b):
+    return tuple(sorted(set(a) | set(b)))
+
+
+class _SpanBoc(BranchOfficeChare):
+    """Branch that reports its PE via reduction and joins a barrier."""
+
+    def __init__(self):
+        pass
+
+    @entry
+    def ping(self, target):
+        self.contribute("who", (self.my_pe,), _span_merge, target=target,
+                        entry_name="collected")
+
+    @entry
+    def sync(self, target):
+        self._target = target
+        self.barrier("b", "synced")
+
+    @entry
+    def synced(self, tag, count):
+        self.contribute("cnt", count, "max", target=self._target,
+                        entry_name="collected")
+
+
+class _Toucher(Chare):
+    def __init__(self, parent):
+        self.send(parent, "touched")
+
+
+class _SpanMain(Chare):
+    """Touch a fixed rank set, then create a BOC and exercise its span:
+    broadcast -> reduction -> barrier, each of which must walk only the
+    write-once span of ranks active at creation time."""
+
+    def __init__(self, ranks):
+        self.pending = len(ranks)
+        for pe in ranks:
+            self.create(_Toucher, self.thishandle, pe=pe)
+
+    @entry
+    def touched(self):
+        self.pending -= 1
+        if self.pending == 0:
+            self.boc = self.create_boc(_SpanBoc)
+            self.broadcast_branches(self.boc, "ping", self.thishandle)
+
+    @entry
+    def collected(self, tag, value):
+        if tag == "who":
+            self.who = value
+            self.broadcast_branches(self.boc, "sync", self.thishandle)
+        else:
+            self.exit((self.who, value))
+
+
+def test_sparse_boc_span_is_o_active():
+    """At P=10⁵, BOC create/broadcast/reduce/barrier must touch only the
+    ranks active at creation (the write-once span), not all P."""
+    P = 100_000
+    ranks = sorted(i * 4099 for i in range(1, 25))  # 24 distinct ranks, no 0
+    machine = make_machine("cluster", P, sparse=True)
+    res = Kernel(machine).run(_SpanMain, ranks)
+    k = res.kernel
+    span_ranks = sorted([0] + ranks)  # PE 0 (main) is touched too
+    who, barrier_count = res.result
+    # The reduction visited exactly the span's branches...
+    assert list(who) == span_ranks
+    # ...the barrier released with the span's branch count...
+    assert barrier_count == len(span_ranks)
+    # ...branches were constructed on exactly the span ranks...
+    boc_id = next(iter(k.boc_spans))
+    srs, rank_set, _wtree = k.boc_spans[boc_id]
+    assert srs == span_ranks and rank_set == frozenset(span_ranks)
+    assert sorted(k.bocs[boc_id]) == span_ranks
+    # ...and nothing was O(P): event and touched-rank counts stay ~k.
+    assert len(k.pes) < 200, f"touched {len(k.pes)} of {P} PEs"
+    assert res.events < 5_000, f"{res.events} events for a 25-rank span"
+
+
+def test_sparse_boc_send_outside_span_raises():
+    """A branch send to a rank outside the write-once span must fail
+    loudly: no branch will ever be constructed there."""
+
+    class Main(Chare):
+        def __init__(self):
+            self.boc = self.create_boc(_SpanBoc)
+            self.send(self.thishandle, "later")
+
+        @entry
+        def later(self):
+            # By now boc_create reached PE 0 and snapshotted the span
+            # ({0}: nothing else is touched); rank 500 is outside it.
+            self.send_branch(self.boc, 500, "ping", self.thishandle)
+
+    machine = make_machine("cluster", 100_000, sparse=True)
+    with pytest.raises(RoutingError, match="spans"):
+        Kernel(machine).run(Main)
+
+
+def test_dense_kernels_have_no_boc_spans():
+    """Dense mode must keep the span table empty (full-P collectives),
+    so golden traces and dense semantics are untouched."""
+
+    class Main(Chare):
+        def __init__(self):
+            self.boc = self.create_boc(_SpanBoc)
+            self.broadcast_branches(self.boc, "ping", self.thishandle)
+
+        @entry
+        def collected(self, tag, value):
+            self.exit(value)
+
+    res = Kernel(make_machine("ideal", 8)).run(Main)
+    assert list(res.result) == list(range(8))
+    assert res.kernel.boc_spans == {}
 
 
 # -------------------------------------------------- CentralBalancer heap oracle
