@@ -26,6 +26,13 @@ Structure:
   quiescence detection needed, and per-request latency is reconstructed
   afterwards from the causal event log by
   :mod:`repro.metrics.latency` (no kernel-side latency hooks).
+* With a telemetry plane attached (``telemetry=`` kernel kwarg,
+  :mod:`repro.obs`), the app additionally streams each request's latency
+  into an online log-bucketed histogram as it completes — injection is
+  stamped at the seed's send departure and completion at the final
+  stage's execution end, the exact endpoints the trace walk recovers —
+  so tail percentiles stay available at farm sizes where recording every
+  event is infeasible (experiment S6).
 """
 
 from __future__ import annotations
@@ -59,11 +66,17 @@ class Request(Chare):
 
     def __init__(self, rid: int, stage: int, demands: Tuple[float, ...]):
         shed_above = self.readonly("serving_admission")
+        tel = self._kernel.telemetry
         if stage == 0 and shed_above is not None and self.local_load > shed_above:
             # Admission control: the queue here is already deeper than the
             # bound, so turn the request away after a token triage cost.
             self.charge(TRIAGE_WORK)
             self.send(self.mainhandle, "shed", rid)
+            if tel is not None:
+                # Online latency: resolved against this execution's true
+                # end time by the telemetry exec hook — the same timestamp
+                # the trace walk's exec_end carries.
+                tel.serving_complete(rid, "shed")
             self.destroy()
             return
         self.charge(demands[stage])
@@ -73,6 +86,8 @@ class Request(Chare):
             self.create(Request, rid, stage + 1, demands)
         else:
             self.send(self.mainhandle, "done", rid)
+            if tel is not None:
+                tel.serving_complete(rid, "done")
         self.destroy()
 
 
@@ -99,6 +114,12 @@ class ServingMain(Chare):
     @entry
     def tick(self, i: int) -> None:
         self.create(Request, i, 0, self.demands[i])
+        tel = self._kernel.telemetry
+        if tel is not None:
+            # Stamp injection at the seed's send departure (tick charges no
+            # work, so that is start + overhead_base — exactly the trace
+            # walk's inject_t).  Host-side only; the run is unperturbed.
+            tel.serving_inject(i)
         if i + 1 < self.n:
             self.send_at(self.arrivals[i + 1], self.thishandle, "tick", i + 1)
 
@@ -165,4 +186,8 @@ def run_serving(
     for key, value in digest.items():
         if key not in ("requests", "completed", "shed"):
             summary[key] = value
+    if kernel.telemetry is not None:
+        # Trace-free latency digest from the online histograms — the lens
+        # that still works at P=10⁵ where tracing is infeasible (S6).
+        summary["online"] = kernel.telemetry.serving_quantiles()
     return summary, result

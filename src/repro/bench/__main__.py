@@ -88,6 +88,22 @@ def main(argv=None) -> int:
         "implies tracing even without --trace-out",
     )
     parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="attach the telemetry plane to every run and write one "
+        "<run>.metrics.jsonl + <run>.prom per run to DIR, with a run-health "
+        "line on stderr (telemetry is off without --metrics-*)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="VSECONDS",
+        help="telemetry snapshot period in virtual seconds (default: final "
+        "snapshot only); implies telemetry even without --metrics-out",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=["heap", "batch"],
@@ -102,17 +118,24 @@ def main(argv=None) -> int:
     started = time.perf_counter()
     tracing = args.trace_out is not None or args.trace_events is not None
     trace_kinds = args.trace_events if args.trace_events is not None else "all"
+    metrics = (args.metrics_out is not None
+               or args.metrics_interval is not None)
+    metrics_interval = (args.metrics_interval
+                        if args.metrics_interval is not None else 0.0)
     executor = SweepExecutor(jobs=jobs, cache=cache, progress=progress,
-                             trace_out=args.trace_out)
+                             trace_out=args.trace_out,
+                             metrics_out=args.metrics_out)
     from contextlib import ExitStack
 
-    from repro.bench.harness import use_backend, use_tracing
+    from repro.bench.harness import use_backend, use_telemetry, use_tracing
 
     with ExitStack() as stack:
         stack.enter_context(executor)
         stack.enter_context(use_executor(executor))
         if tracing:
             stack.enter_context(use_tracing(trace_kinds))
+        if metrics:
+            stack.enter_context(use_telemetry(metrics_interval))
         if args.backend is not None:
             stack.enter_context(use_backend(args.backend))
         for exp_id in ids:
@@ -156,6 +179,8 @@ def _summarize(executor, wall: float, stats_json) -> None:
         line += f", cache hit-rate {cache['hit_rate']:.0%}"
     if "traces_written" in stats:
         line += f", {stats['traces_written']} traces written"
+    if "metrics_written" in stats:
+        line += f", {stats['metrics_written']} metric streams written"
     print(line, file=sys.stderr)
     if stats_json:
         import json

@@ -783,6 +783,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "s3": _serving("exp_s3"),
     "s4": _serving("exp_s4"),
     "s5": _serving("exp_s5"),
+    "s6": _serving("exp_s6"),
 }
 
 

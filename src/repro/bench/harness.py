@@ -49,7 +49,8 @@ from repro.util.errors import ConfigurationError
 __all__ = ["AppSpec", "APPS", "describe", "measure", "measure_many",
            "execute_descriptor", "speedup_sweep", "sweep_from_rows",
            "SweepResult", "use_tracing", "current_tracing",
-           "use_backend", "current_backend"]
+           "use_backend", "current_backend",
+           "use_telemetry", "current_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -186,6 +187,45 @@ def use_backend(name: str):
         _backend = previous
 
 
+# ----------------------------------------------------- ambient telemetry
+#: Snapshot interval (virtual seconds) every subsequently-described run
+#: should attach a telemetry plane with, installed by the bench CLI's
+#: ``--metrics-*`` flags; ``None`` means telemetry off, ``0.0`` means a
+#: final snapshot only.
+_telemetry: Optional[float] = None
+
+
+def current_telemetry() -> Optional[float]:
+    """Telemetry interval ambient ``describe()`` calls will request
+    (``None`` = off)."""
+    return _telemetry
+
+
+@contextmanager
+def use_telemetry(interval: float = 0.0):
+    """Attach a telemetry plane to every run described in this block.
+
+    ``interval`` is the virtual-time snapshot period (``0.0`` = final
+    snapshot only).  Telemetry becomes part of each run's descriptor (and
+    therefore of its cache key) — untelemetered measurements never replay
+    telemetered rows or vice versa.  The plane itself is inert on the
+    simulated run: answers, virtual times and event counts are identical
+    with it on or off.
+    """
+    interval = float(interval)
+    if interval < 0.0:
+        raise ConfigurationError(
+            f"telemetry interval must be >= 0, got {interval}"
+        )
+    global _telemetry
+    previous = _telemetry
+    _telemetry = interval
+    try:
+        yield _telemetry
+    finally:
+        _telemetry = previous
+
+
 @dataclass
 class MeasureRow:
     """One (app, machine, P, strategies) measurement.
@@ -215,6 +255,10 @@ class MeasureRow:
     #: described with tracing on; plain data, so it survives pool workers
     #: and the result cache.
     trace: Any = field(default=None, repr=False)
+    #: Telemetry payload ("repro-metrics-v1" dict) when the run was
+    #: described with metrics on; plain data like ``trace``, so it feeds
+    #: the exporters/health reporter identically from workers and cache.
+    telemetry: Any = field(default=None, repr=False)
 
     @property
     def vtime_ms(self) -> float:
@@ -232,6 +276,7 @@ def describe(
     machine_scaled: Optional[Dict[str, Any]] = None,
     trace: Any = None,
     backend: Optional[str] = None,
+    metrics: Any = None,
     **overrides: Any,
 ) -> RunDescriptor:
     """Normalise one configuration into a declarative run descriptor.
@@ -245,6 +290,12 @@ def describe(
     Non-default backends join ``params`` (hence the cache key); default
     descriptors keep the historical shape so existing cache entries and
     fixtures stay valid.
+
+    ``metrics`` attaches a telemetry plane: a snapshot interval in virtual
+    seconds (``0.0`` = final snapshot only).  ``None`` inherits the
+    ambient :func:`use_telemetry` setting, ``False`` forces telemetry off.
+    Like non-default backends, telemetry joins ``params`` only when
+    enabled, preserving historical cache keys.
     """
     try:
         spec = APPS[app]
@@ -263,6 +314,20 @@ def describe(
         params["backend"] = backend_name
     else:
         params.pop("backend", None)
+    if metrics is None:
+        metrics_interval = _telemetry
+    elif metrics is False:
+        metrics_interval = None
+    else:
+        metrics_interval = float(metrics)
+        if metrics_interval < 0.0:
+            raise ConfigurationError(
+                f"telemetry interval must be >= 0, got {metrics_interval}"
+            )
+    if metrics_interval is not None:
+        params["metrics"] = metrics_interval
+    else:
+        params.pop("metrics", None)
     if trace is None:
         trace_kinds = _tracing
     elif not trace:  # explicit off: (), "", False
@@ -303,6 +368,14 @@ def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
         # Forwarded to Kernel(trace_events=...) via the runner's
         # **kernel_kwargs passthrough (every registered app supports it).
         params["trace_events"] = list(desc.trace)
+    metrics_interval = params.pop("metrics", None)
+    tel = None
+    if metrics_interval is not None:
+        from repro.obs import Telemetry, TelemetryConfig
+
+        tel = Telemetry(TelemetryConfig(interval=metrics_interval))
+        # Same **kernel_kwargs passthrough as tracing: Kernel(telemetry=...).
+        params["telemetry"] = tel
     answer, result = spec.runner(machine, seed=desc.seed, **params)
     kernel = result.kernel
     trace_payload = None
@@ -323,6 +396,17 @@ def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
             "events": log.as_records(),
             "dropped": log.dropped,
         }
+    telemetry_payload = None
+    if tel is not None:
+        telemetry_payload = tel.payload(meta={
+            "app": desc.app,
+            "machine": desc.machine,
+            "num_pes": desc.num_pes,
+            "seed": desc.seed,
+            "queueing": desc.queueing,
+            "balancer": desc.balancer_label,
+            "total_time": result.time,
+        })
     return MeasureRow(
         app=desc.app,
         machine=desc.machine,
@@ -340,6 +424,7 @@ def execute_descriptor(desc: RunDescriptor) -> MeasureRow:
                                 else kernel.last_counted_exec_time),
         result=result,
         trace=trace_payload,
+        telemetry=telemetry_payload,
     )
 
 

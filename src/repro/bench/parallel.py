@@ -92,6 +92,7 @@ class SweepExecutor:
         timeout: float = DEFAULT_TIMEOUT,
         progress: Optional[Callable[[Dict[str, Any]], None]] = None,
         trace_out: Optional[str] = None,
+        metrics_out: Optional[str] = None,
     ) -> None:
         self.jobs = max(1, int(jobs if jobs is not None else default_jobs()))
         self.cache = cache
@@ -101,6 +102,11 @@ class SweepExecutor:
         #: carries a trace payload is written there as a ``.run.json``
         #: (events + sampled metrics) plus a ``.perfetto.json`` twin.
         self.trace_out = trace_out
+        #: Directory for telemetry exports: every completed row that
+        #: carries a telemetry payload is written there as a
+        #: ``.metrics.jsonl`` stream plus a ``.prom`` scrape twin, with a
+        #: one-line run-health digest on stderr.
+        self.metrics_out = metrics_out
         self._pool = None
         # Lifetime totals, for the CLI/CI summary.
         self.runs_executed = 0
@@ -108,6 +114,7 @@ class SweepExecutor:
         self.batches = 0
         self.wall_s = 0.0
         self.traces_written = 0
+        self.metrics_written = 0
 
     # -------------------------------------------------------------- lifecycle
     def _ensure_pool(self):
@@ -163,6 +170,8 @@ class SweepExecutor:
             self.runs_executed += len(pending)
         if self.trace_out is not None:
             self._write_traces(descs, rows)
+        if self.metrics_out is not None:
+            self._write_metrics(descs, rows)
         self.wall_s += time.perf_counter() - started
         return rows
 
@@ -200,6 +209,36 @@ class SweepExecutor:
                 doc["events"], meta=doc["meta"], metrics=doc["metrics"],
             )
             self.traces_written += 1
+
+    def _write_metrics(self, descs, rows) -> None:
+        """Export every telemetered row of the batch under ``metrics_out``.
+
+        Like traces, cached replays export too — the payload is plain data
+        riding on the row.  Each run gets the archival JSONL stream, a
+        Prometheus text scrape, and one health line on stderr (the live
+        watchdog view of how the run ended).
+        """
+        import re
+        import sys
+
+        from repro.obs import RunHealth, to_jsonl, to_prometheus
+
+        os.makedirs(self.metrics_out, exist_ok=True)
+        for desc, row in zip(descs, rows):
+            payload = getattr(row, "telemetry", None)
+            if payload is None:
+                continue
+            stem = re.sub(r"[^A-Za-z0-9._-]+", "-", desc.label()).strip("-")
+            stem = f"{stem}-{desc.key()[:8]}"
+            path = os.path.join(self.metrics_out, stem + ".metrics.jsonl")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(to_jsonl(payload))
+            with open(os.path.join(self.metrics_out, stem + ".prom"),
+                      "w", encoding="utf-8") as fh:
+                fh.write(to_prometheus(payload))
+            print(f"[{desc.label()}] {RunHealth(payload).format()}",
+                  file=sys.stderr)
+            self.metrics_written += 1
 
     def _run_inline(self, descs, rows, pending, label, cached) -> None:
         """The historical serial path: same process, same submission order."""
@@ -297,6 +336,8 @@ class SweepExecutor:
         }
         if self.trace_out is not None:
             out["traces_written"] = self.traces_written
+        if self.metrics_out is not None:
+            out["metrics_written"] = self.metrics_written
         if self.cache is not None:
             out["cache"] = self.cache.stats()
         return out

@@ -58,11 +58,19 @@ DEFAULT_PATH = "BENCH_sim_throughput.json"
 #: latency analyzer): the turn/bundling lanes bail out of exactly these
 #: shapes, so a botched bail-out condition shows up here, not in the
 #: kernel microbenchmarks.
+#: ``kernel_telemetry_msgs_per_s`` guards the telemetry plane's hot-path
+#: overhead: the same PingPong chain as ``kernel_msgs_per_s`` but with a
+#: live metric plane attached — the execution hook, histogram observe, and
+#: label-cache hits all in the loop.  The PR-10 contract is that this stays
+#: within ~15% of the untelemetered rate; a per-event allocation sneaking
+#: into the hook shows up here first.
 GUARDED_METRICS = ("engine_events_per_s", "kernel_msgs_per_s",
                    "kernel_seeds_per_s", "pool_prio_ops_per_s",
                    "pool_bitprio_ops_per_s", "search_bitprio_nodes_per_s",
                    "engine_batch_events_per_s", "kernel_batch_seeds_per_s",
-                   "engine_events_per_s_p100k", "serving_requests_per_s")
+                   "engine_events_per_s_p100k", "serving_requests_per_s",
+                   "kernel_telemetry_msgs_per_s",
+                   "kernel_batch_telemetry_msgs_per_s")
 
 
 # --------------------------------------------------------------- measurement
@@ -114,6 +122,28 @@ def _kernel_messages(backend: str = "heap") -> Callable[[], int]:
         from repro.bench._workloads import PingPong
 
         kernel = Kernel(make_machine("ideal", 1), backend=backend)
+        rounds = 2_000
+        assert kernel.run(PingPong, rounds).result == rounds
+        return rounds
+
+    return run
+
+
+def _kernel_telemetry_messages(backend: str = "heap") -> Callable[[], int]:
+    """The ``_kernel_messages`` chain with a telemetry plane attached.
+
+    Interval 0.0 (final snapshot only), so the measured delta over
+    ``kernel_msgs_per_s`` is purely the per-execution hook cost — the
+    overhead figure the telemetry plane's ≥0.85x contract is stated over.
+    """
+
+    def run() -> int:
+        from repro import Kernel, make_machine
+        from repro.bench._workloads import PingPong
+        from repro.obs import Telemetry
+
+        kernel = Kernel(make_machine("ideal", 1), backend=backend,
+                        telemetry=Telemetry())
         rounds = 2_000
         assert kernel.run(PingPong, rounds).result == rounds
         return rounds
@@ -349,6 +379,9 @@ def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, flo
             "kernel_batch_seeds_per_s": _best_rate(
                 _seed_fanout(8, "batch"), repeats
             ),
+            "kernel_batch_telemetry_msgs_per_s": _best_rate(
+                _kernel_telemetry_messages("batch"), repeats
+            ),
         }
         for pes in (1, 4, 32):
             metrics[f"kernel_batch_seeds_per_s_p{pes}"] = _best_rate(
@@ -361,6 +394,9 @@ def measure_throughput(repeats: int = 5, backend: str = "heap") -> Dict[str, flo
     metrics = {
         "engine_events_per_s": _best_rate(_engine_events(), repeats),
         "kernel_msgs_per_s": _best_rate(_kernel_messages(), repeats),
+        "kernel_telemetry_msgs_per_s": _best_rate(
+            _kernel_telemetry_messages(), repeats
+        ),
         "kernel_seeds_per_s": _best_rate(_seed_fanout(8), repeats),
     }
     for pes in (1, 4, 32):
@@ -420,14 +456,19 @@ def host_context(backend: str = "heap") -> Dict[str, object]:
 
 # ---------------------------------------------------------------- profiling
 def profile_hot_paths(backend: str = "heap", sort: str = "tottime",
-                      limit: int = 25, rounds: int = 3) -> None:
+                      limit: int = 25, rounds: int = 3,
+                      out: "str | None" = None) -> None:
     """cProfile the tracked kernel cohort workloads; print a pstats table.
 
     Profiles exactly the runs the guarded ``kernel_msgs_per_s`` /
     ``kernel_seeds_per_s`` metrics time (PingPong message chain, Fanout
     seed burst), so the rows map one-to-one onto the throughput numbers:
     when a guarded metric drops, ``--profile`` names the frame that ate
-    it.  Output goes to stdout; nothing is recorded in the artifact.
+    it.  The table goes to stdout; with ``out`` set, the raw profile is
+    additionally dumped there in ``pstats`` binary form (loadable with
+    ``pstats.Stats(path)`` or snakeviz) so a CI run's profile can be
+    attached as an artifact and inspected offline.  Nothing is recorded
+    in the JSON artifact either way.
     """
     import cProfile
     import pstats
@@ -446,6 +487,12 @@ def profile_hot_paths(backend: str = "heap", sort: str = "tottime",
     prof.disable()
     stats = pstats.Stats(prof, stream=sys.stdout)
     stats.strip_dirs().sort_stats(sort).print_stats(limit)
+    if out is not None:
+        directory = os.path.dirname(out)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        prof.dump_stats(out)
+        print(f"profile dumped -> {out}")
 
 
 # ------------------------------------------------- experiment-suite wall time
@@ -590,6 +637,10 @@ def main(argv=None) -> int:
                     help="pstats sort key for --profile (default: tottime)")
     ap.add_argument("--profile-limit", type=int, default=25,
                     help="rows to print in --profile mode (default: 25)")
+    ap.add_argument("--profile-out", default=None, metavar="FILE",
+                    help="also dump the raw --profile data to FILE in "
+                    "pstats binary form (CI artifact; loadable with "
+                    "pstats.Stats or snakeviz)")
     ap.add_argument("--exp-wall", action="store_true",
                     help="record experiment-suite wall time "
                     "(serial vs --exp-jobs vs warm cache) instead of the "
@@ -606,7 +657,7 @@ def main(argv=None) -> int:
     args = ap.parse_args(argv)
     if args.profile:
         profile_hot_paths(args.backend, args.profile_sort,
-                          args.profile_limit)
+                          args.profile_limit, out=args.profile_out)
         return 0
     if args.check:
         return 0 if check(args.output, args.tolerance,

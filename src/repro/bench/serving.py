@@ -31,7 +31,7 @@ from repro.faults import FaultConfig
 from repro.machine.presets import make_machine
 from repro.workloads.arrivals import Bursty, Diurnal, Poisson, ServiceSpec
 
-__all__ = ["exp_s1", "exp_s2", "exp_s3", "exp_s4", "exp_s5"]
+__all__ = ["exp_s1", "exp_s2", "exp_s3", "exp_s4", "exp_s5", "exp_s6"]
 
 #: Per-stage service demand used by every S experiment (exponential with a
 #: mean of 400 work units ≈ 1.2 ms on ncube2).
@@ -350,6 +350,111 @@ def exp_s5(scale: str = "paper") -> ExperimentResult:  # noqa: F821
             headers, table_rows,
             title=f"Fixed {count}-request stream against sparse cluster "
             "farms (touched = materialized PE ranks)",
+        ),
+        data,
+    )
+
+
+# ------------------------------------------------------------------------ S6
+def exp_s6(scale: str = "paper") -> ExperimentResult:  # noqa: F821
+    """Trace-free tail latency from the online telemetry plane.
+
+    Two claims in one table.  **Validation** (P ≤ 10⁴): runs carrying both
+    the event log *and* the telemetry plane show the online histogram's
+    p50/p95/p99 landing in (or adjacent to) the bucket of the exact
+    trace-walked value — the histogram's ≤1/subbuckets relative-width
+    guarantee made empirical.  **Scale** (the largest farm): the same
+    stream with tracing disabled entirely — the regime where an O(events)
+    log is off the table — still yields the full latency digest, because
+    the online histogram is O(buckets) regardless of request count or
+    farm size.
+    """
+    from repro.obs.registry import Histogram
+
+    if scale == "quick":
+        pes_list, count, demo_pes = [1_000], 250, 10_000
+    else:
+        pes_list, count, demo_pes = [1_000, 10_000], 1000, 100_000
+    machine = "cluster"
+    p = make_machine(machine, pes_list[0]).params
+    cost = SERVICE.mean * p.work_unit_time + p.sched_overhead + p.recv_overhead
+    rate = 0.3 * pes_list[0] / cost
+    # Snapshot every eighth of the arrival span.  The run's virtual time is
+    # drain-dominated (in-flight requests outlive the stream), so the
+    # stream itself gets ~8 snapshots and the drain tail streams more —
+    # bounded by TelemetryConfig.max_snapshots, never by guesswork here.
+    interval = count / rate / 8.0
+    common: Dict[str, Any] = dict(
+        sparse=True, balancer="central", service=SERVICE,
+        arrivals=Poisson(rate=rate, count=count),
+    )
+    descs = [
+        # Validation arms: event log AND telemetry on the same run.
+        describe("serving", machine, pes, metrics=interval, **common)
+        for pes in pes_list
+    ] + [
+        # Scale arm: telemetry only.  ``trace_events=None`` reaches
+        # run_serving through the descriptor params and suppresses its
+        # default analyzer kinds — no event log exists anywhere.
+        describe("serving", machine, demo_pes, metrics=interval,
+                 trace_events=None, **common)
+    ]
+    rows_out = measure_many(descs, label="s6")
+    probe = Histogram()  # bucket geometry only (default subbuckets)
+    headers = ["P", "done", "lens", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+               "mean (ms)", "max \N{GREEK CAPITAL LETTER DELTA}bucket",
+               "snaps", "host (s)"]
+    table_rows = []
+    series = []
+    for pes, row in zip(pes_list + [demo_pes], rows_out):
+        ans = row.answer
+        online = ans["online"]
+        assert ans["completed"] == ans["offered"] == online["count"], (
+            f"S6 online digest disagrees with the collector at P={pes}: {ans}")
+        payload = row.telemetry
+        assert payload is not None, f"S6 row lost its telemetry at P={pes}"
+        snaps = len(payload["snapshots"])
+        validated = ans["p50"] is not None
+        max_diff = None
+        if validated:
+            diffs = []
+            for q in ("p50", "p95", "p99"):
+                exact, est = ans[q], online[q]
+                diffs.append(abs(probe.bucket_index(exact)
+                                 - probe.bucket_index(est)))
+            max_diff = max(diffs)
+            assert max_diff <= 1, (
+                f"S6 online quantile strayed {max_diff} buckets from the "
+                f"trace walk at P={pes}")
+            table_rows.append(
+                [pes, ans["completed"], "trace", _ms(ans["p50"]),
+                 _ms(ans["p95"]), _ms(ans["p99"]), _ms(ans["mean"]),
+                 "", "", ""])
+        table_rows.append(
+            [pes, ans["completed"], "online", _ms(online["p50"]),
+             _ms(online["p95"]), _ms(online["p99"]), _ms(online["mean"]),
+             max_diff if validated else "-", snaps,
+             round(row.host_seconds, 3)])
+        series.append({
+            "pes": pes, "validated": validated, "max_bucket_diff": max_diff,
+            "snapshots": snaps, "host_seconds": row.host_seconds,
+            "online": {k: online[k] for k in
+                       ("p50", "p95", "p99", "count", "mean", "min", "max")},
+            **({"trace": {k: ans[k] for k in ("p50", "p95", "p99", "mean")}}
+               if validated else {}),
+            "offered": ans["offered"], "completed": ans["completed"],
+        })
+    data = {"machine": machine, "pes": pes_list, "demo_pes": demo_pes,
+            "count": count, "rate": rate, "interval": interval,
+            "subbuckets": probe.subbuckets, "series": series}
+    return _result_cls()(
+        "S6",
+        "online tail latency vs the trace walk, then trace-free at scale",
+        format_table(
+            headers, table_rows,
+            title=f"Telemetry-plane latency digests, {count}-request stream "
+            f"on sparse {machine} farms; P={demo_pes} runs with tracing "
+            "disabled (online histogram is the only lens)",
         ),
         data,
     )

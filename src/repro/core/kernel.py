@@ -114,6 +114,7 @@ class Kernel:
         timeline: bool = False,
         faults: Any = None,
         trace_events: Any = None,
+        telemetry: Any = None,
         backend: Optional[str] = None,
         sparse: Optional[bool] = None,
         dense_pes: bool = False,
@@ -230,6 +231,33 @@ class Kernel:
             faults.bind(self)
             self.faults = faults
         self._faults = self.faults
+        # Online telemetry (repro.obs): accepts a Telemetry, a
+        # TelemetryConfig, or True; None keeps the unobserved fast path
+        # (one `is None` check per execution, same inert-when-off pattern
+        # as faults/tracing).  Unlike tracing, telemetry never joins the
+        # turn/burst gates below: it aggregates at execution granularity
+        # and scrapes the PEState counters every send lane maintains
+        # identically, so the fast lanes stay armed and schedules are
+        # unperturbed.
+        if telemetry is None:
+            self.telemetry = None
+        else:
+            from repro.obs import Telemetry, TelemetryConfig
+
+            if isinstance(telemetry, Telemetry):
+                pass
+            elif isinstance(telemetry, TelemetryConfig):
+                telemetry = Telemetry(telemetry)
+            elif telemetry is True:
+                telemetry = Telemetry()
+            else:
+                raise ConfigurationError(
+                    "telemetry must be a Telemetry, TelemetryConfig or True, "
+                    f"not {type(telemetry).__name__}"
+                )
+            telemetry.bind(self)
+            self.telemetry = telemetry
+        self._telemetry = self.telemetry
         # Outbox burst lane: grouped bulk scheduling of a flush.  The fault
         # and tracing hooks need per-envelope control, so the lane is
         # enabled once per run, not per flush.  (Originally batch-only; the
@@ -491,6 +519,10 @@ class Kernel:
             # Advance the clock to the end of the exiting execution so that
             # reports and utilization use the true completion time.
             self.engine.advance_to(self._final_time)
+        if self.telemetry is not None:
+            # Final scrape at the settled clock (host-side only; the run's
+            # virtual schedule is already complete).
+            self.telemetry.on_run_end(truncated=truncated)
         return RunResult(
             result=self._exit_result,
             time=self.now,
@@ -1170,6 +1202,12 @@ class Kernel:
             self.last_counted_exec_time = start + duration
         if self.timeline is not None:
             self.timeline.record(pe.index, start, duration, env)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            # Above the turn bail-out on purpose: elided completions are
+            # observed too, which is what makes turn-mode and scalar-mode
+            # telemetry counters equal.
+            telemetry.on_execute(pe, env, start, duration, charged)
         if (
             duration == 0.0
             and self._turn_enabled

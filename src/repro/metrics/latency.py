@@ -69,15 +69,19 @@ def _walk_to_origin(
     Returns ``(origin exec_begin or None, original send timestamp)``.
     Crosses balancer forwarding legs (``send -> lb -> deliver -> send ...``)
     and fault retransmissions, keeping the *earliest* send seen — that is
-    the injection point.
+    the injection point.  A parent cycle (impossible in a kernel-produced
+    log, but hand-built or corrupted logs are legal inputs) terminates the
+    walk instead of hanging it.
     """
     origin_send_t: Optional[float] = None
     cur = deliver
+    seen = {cur["eid"]}
     while True:
         parent_eid = cur.get("parent")
         parent = by_eid.get(parent_eid) if parent_eid is not None else None
-        if parent is None:
+        if parent is None or parent["eid"] in seen:
             return None, origin_send_t
+        seen.add(parent["eid"])
         kind = parent["kind"]
         if kind == "exec_begin":
             return parent, origin_send_t
@@ -124,10 +128,15 @@ def request_latencies(
         complete_t = final_end["t"] if final_end is not None else e["t"]
         cur = begin
         valid = True
+        visited = set()
         while True:
             if cur.get("name") != request_name:
                 valid = False  # a completion sent by a non-request execution
                 break
+            if cur["eid"] in visited:
+                valid = False  # parent cycle in a hand-built/corrupted log
+                break
+            visited.add(cur["eid"])
             stages += 1
             stage_end = end_of.get(cur["eid"])
             if stage_end is not None and stage_end.get("dur") is not None:

@@ -1,0 +1,274 @@
+"""Metric primitives: counters, gauges, and log-bucketed histograms.
+
+The telemetry plane (:mod:`repro.obs.telemetry`) needs summary statistics
+that stay cheap at any scale: a P=10\N{SUPERSCRIPT FIVE} serving run pushes
+millions of request latencies through the runtime, and PR 5's EventLog —
+which records every event — cannot watch it.  The primitives here are the
+opposite trade: constant space per series, O(1) per observation, and no
+per-event allocation.
+
+* :class:`Counter` / :class:`Gauge` — one float/int slot each.
+* :class:`Histogram` — HDR-style log-bucketed distribution: the positive
+  reals are split into octaves (powers of two) and each octave into
+  ``subbuckets`` equal linear sub-buckets, so every bucket's relative width
+  is at most ``1/subbuckets`` of its value.  One :func:`math.frexp` call
+  and two dict operations per observation; buckets materialize sparsely
+  (only octaves that receive samples occupy memory).  Quantiles use the
+  same *nearest-rank* convention as :func:`repro.metrics.latency.percentile`
+  — the bucket containing the ``ceil(q/100 * n)``-th smallest sample — and
+  return that bucket's midpoint, so a histogram quantile is always within
+  one bucket of the exact trace-walked value (the S6 head-to-head contract).
+* :class:`MetricRegistry` — get-or-create keyed by (name, label set).
+  Labeled per-PE series materialize only for ranks that are actually
+  touched, mirroring the sparse PE plane.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "quantile_from_record",
+]
+
+
+class Counter:
+    """A monotonically increasing count (hot paths bump ``value`` directly)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def as_record(self) -> Any:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, in-flight, vtime rate)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def as_record(self) -> Any:
+        return self.value
+
+
+class Histogram:
+    """Log-bucketed distribution with nearest-rank quantiles.
+
+    Bucket index for ``v > 0``: with ``m, e = math.frexp(v)`` (``m`` in
+    ``[0.5, 1)``), the octave is ``e`` and the linear sub-bucket is
+    ``int((m - 0.5) * 2 * subbuckets)``, giving
+    ``index = e * subbuckets + sub``.  Bucket ``(e, sub)`` spans
+    ``[2^(e-1) * (1 + sub/S), 2^(e-1) * (1 + (sub+1)/S))`` — relative width
+    ≤ ``1/S``.  Zero (and any non-positive value) lands in a dedicated
+    zero bucket below every indexed one.
+    """
+
+    __slots__ = ("subbuckets", "buckets", "zero", "count", "total",
+                 "_vmin", "_vmax")
+    kind = "histogram"
+
+    def __init__(self, subbuckets: int = 32) -> None:
+        if subbuckets < 1:
+            raise ConfigurationError(
+                f"histogram subbuckets must be >= 1, got {subbuckets}"
+            )
+        self.subbuckets = subbuckets
+        self.buckets: Dict[int, int] = {}
+        self.zero = 0
+        self.count = 0
+        self.total = 0.0
+        # Infinity sentinels keep observe() down to one compare per bound
+        # (this sits on the kernel's per-execution hook); the vmin/vmax
+        # properties present them as None-until-observed.
+        self._vmin = math.inf
+        self._vmax = -math.inf
+
+    @property
+    def vmin(self) -> Optional[float]:
+        return self._vmin if self.count else None
+
+    @property
+    def vmax(self) -> Optional[float]:
+        return self._vmax if self.count else None
+
+    # ------------------------------------------------------------ observation
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if v < self._vmin:
+            self._vmin = v
+        if v > self._vmax:
+            self._vmax = v
+        if v <= 0.0:
+            self.zero += 1
+            return
+        m, e = math.frexp(v)
+        s = self.subbuckets
+        idx = e * s + int((m - 0.5) * 2.0 * s)
+        b = self.buckets
+        b[idx] = b.get(idx, 0) + 1
+
+    def bucket_index(self, v: float) -> Optional[int]:
+        """Index of the bucket ``v`` would land in (None = zero bucket)."""
+        if v <= 0.0:
+            return None
+        m, e = math.frexp(v)
+        s = self.subbuckets
+        return e * s + int((m - 0.5) * 2.0 * s)
+
+    def bucket_bounds(self, idx: int) -> Tuple[float, float]:
+        """``[lower, upper)`` value range of bucket ``idx``."""
+        e, sub = divmod(idx, self.subbuckets)
+        base = 2.0 ** (e - 1)
+        s = self.subbuckets
+        return base * (1.0 + sub / s), base * (1.0 + (sub + 1) / s)
+
+    # -------------------------------------------------------------- quantiles
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile: midpoint of the bucket holding the
+        ``ceil(q/100 * n)``-th smallest sample; None on an empty histogram
+        (an undefined quantile must never silently become a number)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"quantile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zero:
+            return 0.0
+        cum = self.zero
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                lo, hi = self.bucket_bounds(idx)
+                return (lo + hi) / 2.0
+        # Unreachable unless counters were mutated externally.
+        lo, hi = self.bucket_bounds(max(self.buckets))
+        return (lo + hi) / 2.0
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def as_record(self) -> Dict[str, Any]:
+        """Plain-data projection (JSON-safe; bucket keys become strings)."""
+        return {
+            "subbuckets": self.subbuckets,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "zero": self.zero,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Histogram":
+        h = cls(subbuckets=record["subbuckets"])
+        h.count = record["count"]
+        h.total = record["sum"]
+        if record["min"] is not None:
+            h._vmin = record["min"]
+        if record["max"] is not None:
+            h._vmax = record["max"]
+        h.zero = record["zero"]
+        h.buckets = {int(k): v for k, v in record["buckets"].items()}
+        return h
+
+
+def quantile_from_record(record: Dict[str, Any], q: float) -> Optional[float]:
+    """Nearest-rank quantile straight from a histogram's plain-data record
+    (what travels through pool workers, the result cache, and JSONL)."""
+    return Histogram.from_record(record).quantile(q)
+
+
+class MetricRegistry:
+    """Get-or-create store of labeled metric series.
+
+    Series are keyed by ``(name, sorted label items)``; a per-PE series
+    only exists once its rank is first observed — the registry is sparse
+    exactly where the PE plane is.  One metric name maps to one metric
+    type; mixing types under a name is a configuration error.
+    """
+
+    def __init__(self, subbuckets: int = 32) -> None:
+        self.subbuckets = subbuckets
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], Any] = {}
+        self._types: Dict[str, str] = {}
+
+    # ----------------------------------------------------------------- access
+    def _get(self, name: str, kind: str, labels: Dict[str, Any],
+             factory) -> Any:
+        seen = self._types.get(name)
+        if seen is None:
+            self._types[name] = kind
+        elif seen != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {seen}, not a {kind}"
+            )
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, /, **labels: Any) -> Counter:
+        return self._get(name, "counter", labels, Counter)
+
+    def gauge(self, name: str, /, **labels: Any) -> Gauge:
+        return self._get(name, "gauge", labels, Gauge)
+
+    def histogram(self, name: str, /, **labels: Any) -> Histogram:
+        return self._get(
+            name, "histogram", labels,
+            lambda: Histogram(subbuckets=self.subbuckets),
+        )
+
+    def get(self, name: str, /, **labels: Any) -> Optional[Any]:
+        """Peek at a series without creating it."""
+        return self._metrics.get((name, tuple(sorted(labels.items()))))
+
+    # -------------------------------------------------------------- iteration
+    def series(self) -> Iterator[Tuple[str, Dict[str, Any], Any]]:
+        """Yield ``(name, labels, metric)`` sorted by name then labels."""
+        for (name, labels), metric in sorted(
+            self._metrics.items(),
+            key=lambda kv: (kv[0][0], tuple(
+                (k, repr(v)) for k, v in kv[0][1]
+            )),
+        ):
+            yield name, dict(labels), metric
+
+    def as_records(self) -> List[Dict[str, Any]]:
+        """Plain-data projection of every series (pickle/JSON-safe)."""
+        return [
+            {
+                "name": name,
+                "type": metric.kind,
+                "labels": labels,
+                "value": metric.as_record(),
+            }
+            for name, labels, metric in self.series()
+        ]
+
+    def __len__(self) -> int:
+        return len(self._metrics)

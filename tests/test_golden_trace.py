@@ -86,10 +86,10 @@ CASES = [
 ]
 
 
-def _run_case(runner: str, spec: dict, backend: str = "heap"):
+def _run_case(runner: str, spec: dict, backend: str = "heap", **extra):
     machine = make_machine(spec["machine"], spec["pes"], backend=backend)
     common = dict(balancer=spec["balancer"], queueing=spec["queueing"],
-                  seed=spec["seed"])
+                  seed=spec["seed"], **extra)
     if runner == "queens":
         return run_nqueens(machine, n=spec["n"], grainsize=2, **common)
     if runner == "tree":

@@ -1,0 +1,525 @@
+"""Tests for the telemetry plane (:mod:`repro.obs`).
+
+Four contracts, in the order the module docstring states them:
+
+1. **Primitives** — counters/gauges/log-bucketed histograms: bucket math,
+   nearest-rank quantiles (within one bucket of the exact trace-walked
+   percentile), record round-trips, registry semantics.
+2. **Invisible when on** — a telemetry-on run reproduces the telemetry-off
+   run's answer, virtual time, and event count bit for bit, on both
+   backends, including against the golden-trace fixtures; and the turn
+   loop stays armed: turn-mode and scalar-mode runs yield equal final
+   metrics.
+3. **Online serving latency** — the in-app histogram's p50/p95/p99 land in
+   (or adjacent to) the bucket of the exact trace-walked percentile, and
+   the digest survives with tracing disabled entirely.
+4. **Plumbing** — exporters round-trip, run health reads the snapshot
+   stream, and the bench layer threads telemetry through descriptors,
+   cache keys (only when enabled), and sweep-executor output files.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core.chare import Chare
+from repro.core.kernel import Kernel
+from repro.machine.presets import make_machine
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    RunHealth,
+    Telemetry,
+    TelemetryConfig,
+    parse_jsonl,
+    quantile_from_record,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.util.errors import ConfigurationError
+
+BACKENDS = ["heap", "batch"]
+
+
+class _NoopMain(Chare):
+    """Minimal main chare for live-plane exporter smoke."""
+
+    def __init__(self):
+        self.exit(0)
+
+
+# ================================================================ primitives
+class TestHistogram:
+    def test_bucket_contains_value(self):
+        h = Histogram()
+        rng = random.Random(7)
+        for _ in range(200):
+            v = math.exp(rng.uniform(-20, 20))
+            lo, hi = h.bucket_bounds(h.bucket_index(v))
+            assert lo <= v < hi
+
+    def test_relative_width_bound(self):
+        h = Histogram(subbuckets=32)
+        for v in (1e-9, 3.7e-4, 1.0, 42.0, 9e12):
+            lo, hi = h.bucket_bounds(h.bucket_index(v))
+            assert (hi - lo) / lo <= 1.0 / 32 + 1e-12
+
+    def test_observe_accounting(self):
+        h = Histogram()
+        for v in (0.5, 1.5, 0.0, -3.0, 2.5):
+            h.observe(v)
+        assert h.count == 5
+        assert h.zero == 2  # 0.0 and -3.0
+        assert h.total == pytest.approx(1.5)
+        assert h.vmin == -3.0 and h.vmax == 2.5
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(50) is None
+        assert h.mean is None
+        assert h.vmin is None and h.vmax is None
+
+    def test_quantile_bounds_checked(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            h.quantile(101)
+        with pytest.raises(ConfigurationError):
+            h.quantile(-0.1)
+
+    def test_zero_dominated_quantile(self):
+        h = Histogram()
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(5.0)
+        assert h.quantile(50) == 0.0
+        assert h.quantile(99) > 0.0
+
+    def test_quantile_within_one_bucket_of_exact(self):
+        """The S6 contract in miniature, against the exact nearest-rank."""
+        from repro.metrics.latency import percentile
+
+        rng = random.Random(13)
+        samples = [rng.expovariate(1.0) * 1e-3 for _ in range(5000)]
+        h = Histogram()
+        for v in samples:
+            h.observe(v)
+        for q in (50.0, 90.0, 95.0, 99.0, 99.9):
+            exact = percentile(samples, q)
+            est = h.quantile(q)
+            assert abs(h.bucket_index(exact) - h.bucket_index(est)) <= 1
+
+    def test_record_round_trip(self):
+        h = Histogram(subbuckets=16)
+        for v in (0.0, 1e-6, 0.25, 3.9, 3.9, 1e4):
+            h.observe(v)
+        rec = h.as_record()
+        json.dumps(rec)  # JSON-safe
+        h2 = Histogram.from_record(rec)
+        assert h2.as_record() == rec
+        for q in (1.0, 50.0, 99.0):
+            assert h2.quantile(q) == h.quantile(q)
+            assert quantile_from_record(rec, q) == h.quantile(q)
+
+    def test_empty_record_round_trip(self):
+        rec = Histogram().as_record()
+        h = Histogram.from_record(rec)
+        assert h.count == 0 and h.vmin is None and h.quantile(50) is None
+
+    def test_subbuckets_validated(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(subbuckets=0)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricRegistry()
+        c1 = reg.counter("sends", pe=3)
+        c1.inc(2)
+        assert reg.counter("sends", pe=3) is c1
+        assert reg.counter("sends", pe=4) is not c1
+        assert reg.get("sends", pe=3).value == 2
+        assert reg.get("sends", pe=99) is None
+        assert len(reg) == 2
+
+    def test_label_called_name(self):
+        # The metric-name parameter is positional-only, so a label may
+        # itself be called "name" (exec_total{kind=..., name=...} relies
+        # on this).
+        reg = MetricRegistry()
+        c = reg.counter("exec_total", kind="app", name="tick")
+        c.inc()
+        assert reg.get("exec_total", kind="app", name="tick").value == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x")
+
+    def test_series_sorted_and_records(self):
+        reg = MetricRegistry()
+        reg.gauge("b", pe=2).set(1.0)
+        reg.gauge("b", pe=1).set(2.0)
+        reg.counter("a").inc(5)
+        names = [(n, labels) for n, labels, _ in reg.series()]
+        assert names == [("a", {}), ("b", {"pe": 1}), ("b", {"pe": 2})]
+        recs = reg.as_records()
+        assert recs[0] == {"name": "a", "type": "counter", "labels": {},
+                           "value": 5}
+        json.dumps(recs)
+
+    def test_counter_gauge_basics(self):
+        c, g = Counter(), Gauge()
+        c.inc()
+        c.inc(4)
+        g.set(2.5)
+        assert c.value == 5 and c.as_record() == 5
+        assert g.value == 2.5 and g.as_record() == 2.5
+
+
+# ===================================================== invisible-when-on
+def _fib_fingerprint(backend, telemetry=None, **kwargs):
+    from repro.apps.fib import run_fib
+
+    answer, result = run_fib(make_machine("ipsc2", 8, backend=backend),
+                             n=12, threshold=6, balancer="random", seed=2,
+                             telemetry=telemetry, **kwargs)
+    return answer, float(result.time).hex(), result.events
+
+
+class TestNonPerturbation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_run_with_telemetry(self, backend):
+        base = _fib_fingerprint(backend)
+        tel = Telemetry(TelemetryConfig(interval=1e-3))
+        assert _fib_fingerprint(backend, telemetry=tel) == base
+        assert tel.snapshots, "periodic snapshots never flushed"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("case_id", [
+        "queens-ipsc2-central-fifo", "fib-ideal-random-fifo",
+        "tree-ncube2-acwn-fifo",
+    ])
+    def test_golden_fixture_identity_with_telemetry(self, case_id, backend):
+        # Telemetry-on runs must reproduce the golden fixtures captured
+        # with no telemetry plane at all — the strongest inertness claim.
+        from tests.test_golden_trace import (
+            CASES,
+            _fingerprint,
+            _load_fixtures,
+            _run_case,
+        )
+
+        runner, spec = next((r, s) for cid, r, s in CASES if cid == case_id)
+        answer, result = _run_case(
+            runner, spec, backend,
+            telemetry=Telemetry(TelemetryConfig(interval=1e-4)),
+        )
+        assert _fingerprint(answer, result) == _load_fixtures()[case_id]
+
+    def test_turn_vs_scalar_equal_metrics(self):
+        # The turn loop stays armed under telemetry; its elided executions
+        # still hit the hook, so final counters/histograms/snapshots match
+        # the scalar path exactly (only host wall time may differ).
+        def run(turn_loop):
+            from repro.apps.fib import run_fib
+
+            tel = Telemetry()
+            run_fib(make_machine("ideal", 1), n=12, threshold=6, seed=2,
+                    telemetry=tel, turn_loop=turn_loop)
+            payload = tel.payload()
+            for snap in payload["snapshots"]:
+                snap.pop("wall")
+            payload["meta"].pop("backend", None)
+            return payload
+
+        assert run(None) == run(False)
+
+    def test_exec_counters_match_snapshot_totals(self):
+        from repro.apps.fib import run_fib
+
+        tel = Telemetry()
+        run_fib(make_machine("ipsc2", 8), n=12, threshold=6, seed=2,
+                telemetry=tel)
+        execs = sum(m.value for name, _, m in tel.registry.series()
+                    if name == "exec_total")
+        final = tel.snapshots[-1]
+        assert final["label"] == "final"
+        assert execs == final["executions"]
+        assert tel.registry.get("exec_duration_seconds").count == execs
+
+    def test_bind_is_once_only(self):
+        tel = Telemetry()
+        Kernel(make_machine("ideal", 1), telemetry=tel)
+        with pytest.raises(ConfigurationError):
+            Kernel(make_machine("ideal", 1), telemetry=tel)
+
+    def test_snapshot_before_bind_raises(self):
+        with pytest.raises(ConfigurationError):
+            Telemetry().snapshot()
+
+    def test_kernel_accepts_config_and_true(self):
+        k = Kernel(make_machine("ideal", 1),
+                   telemetry=TelemetryConfig(interval=0.5))
+        assert k.telemetry.config.interval == 0.5
+        assert Kernel(make_machine("ideal", 1), telemetry=True).telemetry \
+            is not None
+        with pytest.raises(ConfigurationError):
+            Kernel(make_machine("ideal", 1), telemetry=42)
+
+    def test_max_snapshots_counts_overflow(self):
+        from repro.apps.fib import run_fib
+
+        tel = Telemetry(TelemetryConfig(interval=1e-6, max_snapshots=4))
+        run_fib(make_machine("ipsc2", 8), n=12, threshold=6, seed=2,
+                telemetry=tel)
+        # 4 periodic + the final scrape (on_run_end bypasses the cap).
+        assert len(tel.snapshots) == 5
+        assert tel.snapshots_dropped > 0
+        assert tel.payload()["meta"]["snapshots_dropped"] == \
+            tel.snapshots_dropped
+
+
+# ======================================================== serving online
+def _serve(pes=16, count=200, backend="heap", **kwargs):
+    from repro.apps.serving import run_serving
+    from repro.workloads.arrivals import Poisson
+
+    return run_serving(
+        make_machine("ipsc2", pes, backend=backend),
+        arrivals=Poisson(rate=2000.0, count=count), hops=2, seed=3,
+        balancer="central", **kwargs)
+
+
+class TestServingOnline:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_head_to_head_within_one_bucket(self, backend):
+        tel = Telemetry()
+        summary, result = _serve(backend=backend, telemetry=tel)
+        online = summary["online"]
+        assert online["count"] == summary["completed"]
+        h = tel.registry.get("serving_latency_seconds", kind="done")
+        for q in ("p50", "p95", "p99"):
+            exact, est = summary[q], online[q]
+            assert abs(h.bucket_index(exact) - h.bucket_index(est)) <= 1, q
+        # Pre-bucketing, the online observations are bit-exact: identical
+        # sum/min/max/mean to the trace walk.
+        assert online["min"] == summary["min"]
+        assert online["max"] == summary["max"]
+        assert online["mean"] == pytest.approx(summary["mean"], rel=1e-12)
+
+    def test_trace_free_digest(self):
+        summary, result = _serve(telemetry=Telemetry(), trace_events=None)
+        assert result.kernel.events is None
+        assert summary["p50"] is None  # no log, no trace walk
+        online = summary["online"]
+        assert online["count"] == summary["completed"] == summary["offered"]
+        assert online["p99"] > online["p50"] > 0.0
+
+    def test_shed_requests_counted(self):
+        tel = Telemetry()
+        summary, _ = _serve(pes=2, count=120, shed_above=2, telemetry=tel)
+        assert summary["shed"] > 0
+        assert summary["online"]["shed"] == summary["shed"]
+        assert summary["online"]["count"] == summary["completed"]
+
+    def test_telemetry_does_not_perturb_serving(self):
+        base, base_res = _serve()
+        tel_sum, tel_res = _serve(telemetry=Telemetry())
+        tel_sum.pop("online")
+        assert tel_sum == base
+        assert (float(tel_res.time).hex(), tel_res.events) == \
+            (float(base_res.time).hex(), base_res.events)
+
+
+# ============================================================= exporters
+def _sample_payload():
+    from repro.apps.fib import run_fib
+
+    tel = Telemetry(TelemetryConfig(interval=1e-3))
+    run_fib(make_machine("ipsc2", 8), n=12, threshold=6, seed=2,
+            telemetry=tel)
+    return tel.payload(meta={"app": "fib"})
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self):
+        payload = _sample_payload()
+        assert parse_jsonl(to_jsonl(payload)) == payload
+
+    def test_jsonl_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            parse_jsonl("")
+        with pytest.raises(ConfigurationError):
+            parse_jsonl('{"format": "nope"}')
+        good = json.dumps({"format": "repro-metrics-v1", "meta": {}})
+        with pytest.raises(ConfigurationError):
+            parse_jsonl(good + "\n" + json.dumps({"kind": "mystery"}))
+
+    def test_prometheus_shape(self):
+        text = to_prometheus(_sample_payload())
+        lines = text.splitlines()
+        assert "# TYPE repro_exec_total counter" in lines
+        assert "# TYPE repro_exec_duration_seconds histogram" in lines
+        # Cumulative buckets end at le="+Inf" == _count.
+        bucket_counts = [
+            int(ln.rsplit(" ", 1)[1]) for ln in lines
+            if ln.startswith('repro_exec_duration_seconds_bucket')
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+        inf_line = next(ln for ln in lines if 'le="+Inf"' in ln)
+        count_line = next(
+            ln for ln in lines
+            if ln.startswith("repro_exec_duration_seconds_count"))
+        assert inf_line.rsplit(" ", 1)[1] == count_line.rsplit(" ", 1)[1]
+        # Label values are double-quoted per the exposition format.
+        assert 'kind="app"' in text
+
+    def test_exporters_accept_live_telemetry(self):
+        tel = Telemetry()
+        Kernel(make_machine("ideal", 1), telemetry=tel).run(_NoopMain)
+        assert parse_jsonl(to_jsonl(tel))["meta"]["num_pes"] == 1
+        assert to_prometheus(tel).startswith("# TYPE")
+
+
+# ================================================================= health
+def _snap(t, events, wall, in_flight=0, label=""):
+    row = {"t": t, "vtime": t, "wall": wall, "events": events,
+           "in_flight": in_flight, "busy_pes": 1, "touched_pes": 4,
+           "qd_waves": 0, "qd_detected_at": None}
+    if label:
+        row["label"] = label
+    return row
+
+
+class TestRunHealth:
+    def test_no_data(self):
+        assert RunHealth([]).report()["status"] == "no-data"
+        assert "no snapshots" in RunHealth([]).format()
+
+    def test_running_rates(self):
+        h = RunHealth([_snap(1.0, 100, 0.5), _snap(2.0, 300, 1.0)])
+        r = h.report()
+        assert r["status"] == "running"
+        assert r["events_per_s"] == pytest.approx(400.0)
+        assert r["vtime_rate"] == pytest.approx(2.0)
+        assert h.check()
+
+    def test_stall_detected(self):
+        h = RunHealth([_snap(1.0, 100, 0.5, in_flight=3),
+                       _snap(1.0, 100, 5.0, in_flight=3)])
+        r = h.report()
+        assert r["status"] == "stalled" and r["stalled"]
+        assert not h.check()
+        assert "stalled" in h.format()
+
+    def test_finished_run_is_final_not_stalled(self):
+        h = RunHealth([_snap(1.0, 100, 0.5),
+                       _snap(1.0, 100, 1.0, label="final")])
+        assert h.report()["status"] == "final"
+        assert h.check()
+
+    def test_reads_live_plane_and_payload(self):
+        payload = _sample_payload()
+        live = RunHealth(payload)
+        assert live.report()["status"] == "final"
+        assert RunHealth(payload["snapshots"]).report() == live.report()
+
+
+# ============================================================ bench layer
+class TestBenchTelemetry:
+    def test_describe_default_has_no_metrics_param(self):
+        # Historical "run-v1" cache keys must not move when telemetry is
+        # off — the same guarantee the backend/tracing knobs give.
+        from repro.bench.harness import describe
+
+        desc = describe("fib", "ipsc2", 8)
+        assert "metrics" not in dict(desc.params)
+        with_metrics = describe("fib", "ipsc2", 8, metrics=0.0)
+        assert dict(with_metrics.params)["metrics"] == 0.0
+        assert desc.key() != with_metrics.key()
+
+    def test_ambient_use_telemetry(self):
+        from repro.bench.harness import (
+            current_telemetry,
+            describe,
+            use_telemetry,
+        )
+
+        assert current_telemetry() is None
+        with use_telemetry(2e-3):
+            assert current_telemetry() == 2e-3
+            inherited = describe("fib", "ipsc2", 8)
+            forced_off = describe("fib", "ipsc2", 8, metrics=False)
+        assert current_telemetry() is None
+        assert dict(inherited.params)["metrics"] == 2e-3
+        assert "metrics" not in dict(forced_off.params)
+
+    def test_use_telemetry_rejects_negative(self):
+        from repro.bench.harness import use_telemetry
+
+        with pytest.raises(ConfigurationError):
+            with use_telemetry(-1.0):
+                pass
+
+    def test_execute_descriptor_attaches_payload(self):
+        from repro.bench.harness import describe, execute_descriptor
+
+        base = execute_descriptor(describe("fib", "ipsc2", 8))
+        row = execute_descriptor(describe("fib", "ipsc2", 8, metrics=0.0))
+        assert base.telemetry is None
+        payload = row.telemetry
+        assert payload["format"] == "repro-metrics-v1"
+        assert payload["meta"]["app"] == "fib"
+        assert payload["meta"]["num_pes"] == 8
+        assert payload["snapshots"][-1]["label"] == "final"
+        # Same virtual-time row either way.
+        assert (row.answer, row.vtime, row.qd_work_end) == \
+            (base.answer, base.vtime, base.qd_work_end)
+
+    def test_sweep_executor_writes_metric_streams(self, tmp_path, capsys):
+        from repro.bench.harness import describe
+        from repro.bench.parallel import SweepExecutor
+
+        out = tmp_path / "metrics"
+        with SweepExecutor(jobs=1, metrics_out=str(out)) as ex:
+            rows = ex.run_many([describe("fib", "ipsc2", 8, metrics=0.0)])
+        assert rows[0].telemetry is not None
+        jsonl = list(out.glob("*.metrics.jsonl"))
+        prom = list(out.glob("*.prom"))
+        assert len(jsonl) == 1 and len(prom) == 1
+        parsed = parse_jsonl(jsonl[0].read_text())
+        assert parsed == rows[0].telemetry
+        assert to_prometheus(parsed).startswith("# TYPE")
+        assert "health: final" in capsys.readouterr().err
+        assert ex.summary()["metrics_written"] == 1
+
+    def test_perf_telemetry_metric_guarded(self):
+        from repro.bench.perf import (
+            GUARDED_METRICS,
+            _best_rate,
+            _kernel_telemetry_messages,
+        )
+
+        assert "kernel_telemetry_msgs_per_s" in GUARDED_METRICS
+        assert "kernel_batch_telemetry_msgs_per_s" in GUARDED_METRICS
+        assert _best_rate(_kernel_telemetry_messages(), repeats=1) > 0
+
+    def test_profile_out_writes_pstats_dump(self, tmp_path, capsys):
+        import pstats
+
+        from repro.bench.perf import profile_hot_paths
+
+        out = tmp_path / "prof" / "hot.pstats"
+        profile_hot_paths(rounds=1, limit=5, out=str(out))
+        assert out.exists()
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+        assert "hot.pstats" in capsys.readouterr().out
